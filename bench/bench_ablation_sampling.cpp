@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Methodology ablation: headline metrics versus the set-sampling
+ * factor S of the cache model. The factor trades simulation speed for
+ * variance; the characterization must be stable across it.
+ */
+
+#include <cstdio>
+
+#include "core/experiment.hh"
+#include "support/bench_common.hh"
+
+int
+main()
+{
+    using namespace odbsim;
+    bench::banner("Ablation: set-sampling factor",
+                  "Metric stability vs the cache-model sampling factor");
+
+    std::printf("%-6s %8s %8s %8s %10s %8s\n", "S", "tps", "cpi",
+                "mpiK", "busUtil%", "util");
+    for (const std::uint32_t s : {4u, 8u, 16u, 32u}) {
+        core::OltpConfiguration cfg;
+        cfg.warehouses = 100;
+        cfg.processors = 4;
+        core::RunKnobs knobs;
+        knobs.samplePeriod = s;
+        knobs.measure = ticksFromSeconds(1.0);
+        const core::RunResult r = core::ExperimentRunner::run(cfg, knobs);
+        std::printf("%-6u %8.0f %8.3f %8.3f %10.1f %8.2f\n", s, r.tps,
+                    r.cpi, r.mpi * 1e3, r.busUtil * 100.0, r.cpuUtil);
+    }
+
+    bench::paperNote(
+        "not a paper artifact: validates that the scaled-tag-store "
+        "sampling technique (DESIGN.md) does not drive the headline "
+        "metrics — CPI/MPI should vary by well under the cached-vs-"
+        "scaled signal across S.");
+    return 0;
+}

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Regenerates Figure 2: TPS versus warehouses for 1P/2P/4P, plus the
+ * 1200-warehouse I/O-bound point and the CPU-bound / balanced /
+ * I/O-bound region classification of Section 4.1.
+ */
+
+#include <cstdio>
+
+#include "core/experiment.hh"
+#include "support/bench_common.hh"
+
+namespace
+{
+
+const char *
+classify(const odbsim::core::RunResult &r)
+{
+    if (r.diskReadKbPerTxn < 8.0)
+        return "CPU-bound (cached)";
+    if (r.cpuUtil >= 0.70)
+        return "balanced";
+    return "I/O-bound";
+}
+
+} // namespace
+
+int
+main()
+{
+    using namespace odbsim;
+    bench::banner("Figure 2", "Variance of ODB TPS with P and W scaling");
+
+    const core::StudyResult study =
+        bench::sharedStudy(core::MachineKind::XeonQuadMp);
+    bench::printMetricByW(
+        study, "transactions per second",
+        [](const core::RunResult &r) { return r.tps; }, 0);
+
+    // The 1200 W point the paper excludes from later figures: the 26
+    // disks saturate and CPU utilization cannot reach 90%.
+    std::printf("\n1200-warehouse I/O-bound check (4P, max clients):\n");
+    core::OltpConfiguration cfg;
+    cfg.warehouses = 1200;
+    cfg.processors = 4;
+    const core::RunResult r = core::ExperimentRunner::run(cfg);
+    std::printf("  clients %u  tps %.0f  cpuUtil %.2f  disk util %.2f  "
+                "reads %.1f KB/txn\n",
+                r.clients, r.tps, r.cpuUtil, r.avgDiskUtil,
+                r.diskReadKbPerTxn);
+
+    std::printf("\nregion classification (4P):\n");
+    for (const auto &p : study.forProcessors(4).points) {
+        std::printf("  %4uW  util %.2f  reads %6.1f KB/txn  -> %s\n",
+                    p.warehouses, p.cpuUtil, p.diskReadKbPerTxn,
+                    classify(p));
+    }
+    std::printf("  1200W  util %.2f  reads %6.1f KB/txn  -> %s\n",
+                r.cpuUtil, r.diskReadKbPerTxn, classify(r));
+
+    bench::paperNote(
+        "maximum TPS at ~10 W for all P; TPS decreases as W grows; "
+        "4P > 2P > 1P; at 1200 W the I/O subsystem saturates and 4P "
+        "utilization stays well below 90% (paper: 63%).");
+    return 0;
+}

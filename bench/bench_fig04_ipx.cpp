@@ -1,0 +1,21 @@
+/**
+ * @file
+ * Regenerates Figure 4: Millions of instructions per ODB transaction.
+ */
+
+#include "support/bench_common.hh"
+
+int
+main()
+{
+    using namespace odbsim;
+    bench::banner("Figure 4", "Millions of instructions per ODB transaction");
+    const core::StudyResult study =
+        bench::sharedStudy(core::MachineKind::XeonQuadMp);
+    bench::printMetricByW(
+        study, "IPX (millions of instructions per txn)",
+        [](const core::RunResult &r) { return r.ipx / 1e6; }, 3);
+    bench::paperNote(
+        "IPX increases roughly linearly with W (its OS component grows with the I/O rate while the user component stays flat).");
+    return 0;
+}

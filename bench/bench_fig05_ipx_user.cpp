@@ -1,0 +1,21 @@
+/**
+ * @file
+ * Regenerates Figure 5: User-space IPX.
+ */
+
+#include "support/bench_common.hh"
+
+int
+main()
+{
+    using namespace odbsim;
+    bench::banner("Figure 5", "User-space IPX");
+    const core::StudyResult study =
+        bench::sharedStudy(core::MachineKind::XeonQuadMp);
+    bench::printMetricByW(
+        study, "user IPX (millions)",
+        [](const core::RunResult &r) { return r.ipxUser / 1e6; }, 3);
+    bench::paperNote(
+        "the user-space path length is flat: the database executes the same work per transaction regardless of W.");
+    return 0;
+}

@@ -1,0 +1,21 @@
+/**
+ * @file
+ * Regenerates Figure 6: OS-space IPX.
+ */
+
+#include "support/bench_common.hh"
+
+int
+main()
+{
+    using namespace odbsim;
+    bench::banner("Figure 6", "OS-space IPX");
+    const core::StudyResult study =
+        bench::sharedStudy(core::MachineKind::XeonQuadMp);
+    bench::printMetricByW(
+        study, "OS IPX (millions)",
+        [](const core::RunResult &r) { return r.ipxOs / 1e6; }, 3);
+    bench::paperNote(
+        "the OS-space path length grows with W, from the increasing disk I/O service and scheduler/context-switch work.");
+    return 0;
+}

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Regenerates Figure 7: disk I/O per transaction in KB — reads,
+ * write-back, and redo-log traffic, plus the buffer-cache hit ratio
+ * that drives the read curve.
+ */
+
+#include <cstdio>
+
+#include "support/bench_common.hh"
+
+int
+main()
+{
+    using namespace odbsim;
+    bench::banner("Figure 7",
+                  "Disk I/Os per transaction (reads and writes), in KB");
+    const core::StudyResult study =
+        bench::sharedStudy(core::MachineKind::XeonQuadMp);
+
+    std::printf("4P series:\n");
+    std::printf("%-12s %10s %10s %10s %10s %10s\n", "warehouses",
+                "read KB", "write KB", "log KB", "total KB", "bufHit");
+    for (const auto &r : study.forProcessors(4).points) {
+        std::printf("%-12u %10.2f %10.2f %10.2f %10.2f %10.3f\n",
+                    r.warehouses, r.diskReadKbPerTxn,
+                    r.diskWriteKbPerTxn, r.logKbPerTxn,
+                    r.diskReadKbPerTxn + r.diskWriteKbPerTxn +
+                        r.logKbPerTxn,
+                    r.bufferHitRatio);
+    }
+
+    std::printf("\nread KB/txn across processor counts:\n");
+    bench::printMetricByW(
+        study, "disk reads KB per txn",
+        [](const core::RunResult &r) { return r.diskReadKbPerTxn; }, 2);
+
+    bench::paperNote(
+        "reads ~0 below ~25-35 W (working set fits the buffer cache), "
+        "growing beyond; log traffic ~6 KB/txn independent of W and P; "
+        "write-back appears only once evictions begin and grows with "
+        "W.");
+    return 0;
+}

@@ -1,0 +1,21 @@
+/**
+ * @file
+ * Regenerates Figure 8: Context switches per ODB transaction.
+ */
+
+#include "support/bench_common.hh"
+
+int
+main()
+{
+    using namespace odbsim;
+    bench::banner("Figure 8", "Context switches per ODB transaction");
+    const core::StudyResult study =
+        bench::sharedStudy(core::MachineKind::XeonQuadMp);
+    bench::printMetricByW(
+        study, "context switches per txn",
+        [](const core::RunResult &r) { return r.ctxPerTxn; }, 2);
+    bench::paperNote(
+        "elevated at 10 W (data contention on the tiny shared working set), dips, then grows in step with disk reads per transaction.");
+    return 0;
+}

@@ -1,0 +1,21 @@
+/**
+ * @file
+ * Regenerates Figure 9: Overall CPI trends.
+ */
+
+#include "support/bench_common.hh"
+
+int
+main()
+{
+    using namespace odbsim;
+    bench::banner("Figure 9", "Overall CPI trends");
+    const core::StudyResult study =
+        bench::sharedStudy(core::MachineKind::XeonQuadMp);
+    bench::printMetricByW(
+        study, "cycles per instruction",
+        [](const core::RunResult &r) { return r.cpi; }, 3);
+    bench::paperNote(
+        "CPI rises steeply from 10 to ~100 W then levels off; higher P means higher CPI (bus queueing inflates the L3 miss penalty).");
+    return 0;
+}

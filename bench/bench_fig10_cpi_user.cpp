@@ -1,0 +1,21 @@
+/**
+ * @file
+ * Regenerates Figure 10: User-space CPI.
+ */
+
+#include "support/bench_common.hh"
+
+int
+main()
+{
+    using namespace odbsim;
+    bench::banner("Figure 10", "User-space CPI");
+    const core::StudyResult study =
+        bench::sharedStudy(core::MachineKind::XeonQuadMp);
+    bench::printMetricByW(
+        study, "user CPI",
+        [](const core::RunResult &r) { return r.cpiUser; }, 3);
+    bench::paperNote(
+        "user CPI tracks the overall CPI closely, since user code is 70-80% of all instructions.");
+    return 0;
+}

@@ -1,0 +1,21 @@
+/**
+ * @file
+ * Regenerates Figure 11: OS-space CPI.
+ */
+
+#include "support/bench_common.hh"
+
+int
+main()
+{
+    using namespace odbsim;
+    bench::banner("Figure 11", "OS-space CPI");
+    const core::StudyResult study =
+        bench::sharedStudy(core::MachineKind::XeonQuadMp);
+    bench::printMetricByW(
+        study, "OS CPI",
+        [](const core::RunResult &r) { return r.cpiOs; }, 3);
+    bench::paperNote(
+        "OS CPI slightly DECREASES with W: the more kernel code runs, the better its cache locality (plus sampling noise at small W).");
+    return 0;
+}

@@ -1,0 +1,21 @@
+/**
+ * @file
+ * Regenerates Figure 14: User-space L3 misses per instruction.
+ */
+
+#include "support/bench_common.hh"
+
+int
+main()
+{
+    using namespace odbsim;
+    bench::banner("Figure 14", "User-space L3 misses per instruction");
+    const core::StudyResult study =
+        bench::sharedStudy(core::MachineKind::XeonQuadMp);
+    bench::printMetricByW(
+        study, "user L3 MPI (x1000)",
+        [](const core::RunResult &r) { return r.mpiUser * 1e3; }, 3);
+    bench::paperNote(
+        "the user-space MPI component correlates with the overall MPI.");
+    return 0;
+}

@@ -1,0 +1,21 @@
+/**
+ * @file
+ * Regenerates Figure 15: OS-space L3 misses per instruction.
+ */
+
+#include "support/bench_common.hh"
+
+int
+main()
+{
+    using namespace odbsim;
+    bench::banner("Figure 15", "OS-space L3 misses per instruction");
+    const core::StudyResult study =
+        bench::sharedStudy(core::MachineKind::XeonQuadMp);
+    bench::printMetricByW(
+        study, "OS L3 MPI (x1000)",
+        [](const core::RunResult &r) { return r.mpiOs * 1e3; }, 3);
+    bench::paperNote(
+        "the OS-space MPI decreases with the workload size: more time in kernel code means better temporal locality of kernel structures.");
+    return 0;
+}

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Regenerates Figure 19: CPI scaling on the Quad Itanium2 server
+ * (3 MB L3, ~50% more bus bandwidth, 16 GB memory, 34 disks) — the
+ * Section 6.3 validation that system attributes move the pivot the
+ * way the model predicts.
+ */
+
+#include <cstdio>
+
+#include "analysis/piecewise.hh"
+#include "support/bench_common.hh"
+
+int
+main()
+{
+    using namespace odbsim;
+    bench::banner("Figure 19", "CPI scaling on an Itanium2 quad server");
+
+    const core::StudyResult i2 =
+        bench::sharedStudy(core::MachineKind::Itanium2Quad);
+    const core::StudyResult xeon =
+        bench::sharedStudy(core::MachineKind::XeonQuadMp);
+
+    const auto &i2s = i2.forProcessors(4);
+    const auto &xs = xeon.forProcessors(4);
+
+    std::printf("%-12s %14s %14s\n", "warehouses", "Itanium2 CPI",
+                "Xeon MP CPI");
+    for (std::size_t i = 0; i < i2s.points.size(); ++i) {
+        std::printf("%-12u %14.3f %14.3f\n", i2s.points[i].warehouses,
+                    i2s.points[i].cpi, xs.points[i].cpi);
+    }
+
+    const analysis::PiecewiseFit fi2 = i2s.cpiFit();
+    const analysis::PiecewiseFit fx = xs.cpiFit();
+    std::printf("\ncached-region slope:  Itanium2 %.6f  vs  Xeon %.6f\n",
+                fi2.cached.slope, fx.cached.slope);
+    std::printf("scaled-region slope:  Itanium2 %.6f  vs  Xeon %.6f\n",
+                fi2.scaled.slope, fx.scaled.slope);
+    std::printf("CPI pivot:            Itanium2 %.0f W  vs  Xeon %.0f W\n",
+                fi2.pivotX, fx.pivotX);
+
+    bench::paperNote(
+        "the 3 MB L3 flattens the cached-region slope and the extra "
+        "bus/disk bandwidth softens the scaled region; the resulting "
+        "Itanium2 CPI pivot (118 W in the paper) lands close to the "
+        "Xeon's (130 W), validating the Section 6.3 conjectures.");
+    return 0;
+}

@@ -1,0 +1,114 @@
+#include "bench_common.hh"
+
+#include "core/study_io.hh"
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+namespace odbsim::bench
+{
+
+std::vector<unsigned>
+figureWarehouseGrid()
+{
+    return {10, 25, 35, 50, 75, 100, 150, 200, 300, 400, 600, 800};
+}
+
+namespace
+{
+
+std::string
+cachePath(core::MachineKind machine)
+{
+    const char *dir = std::getenv("ODBSIM_CACHE_DIR");
+    std::string path = dir ? dir : ".";
+    path += "/odbsim_study_";
+    path += core::toString(machine);
+    path += ".csv";
+    return path;
+}
+
+} // namespace
+
+void
+saveStudy(const core::StudyResult &study, const std::string &path)
+{
+    core::saveStudyCsv(study, path);
+}
+
+bool
+loadStudy(const std::string &path, core::StudyResult &out)
+{
+    return core::loadStudyCsv(path, out);
+}
+
+core::StudyResult
+sharedStudy(core::MachineKind machine)
+{
+    const std::string path = cachePath(machine);
+    const bool no_cache = std::getenv("ODBSIM_NO_CACHE") != nullptr;
+    core::StudyResult study;
+    if (!no_cache && loadStudy(path, study)) {
+        std::fprintf(stderr, "[bench] loaded cached study from %s\n",
+                     path.c_str());
+        return study;
+    }
+
+    std::fprintf(stderr,
+                 "[bench] measuring full %s characterization study...\n",
+                 core::toString(machine));
+    core::StudyConfig cfg;
+    cfg.warehouses = figureWarehouseGrid();
+    cfg.machine = machine;
+    cfg.onPoint = [](const core::RunResult &r) {
+        std::fprintf(stderr, "[bench]   W=%u P=%u done (tps %.0f)\n",
+                     r.warehouses, r.processors, r.tps);
+    };
+    study = core::ScalingStudy::run(cfg);
+    if (!no_cache)
+        saveStudy(study, path);
+    return study;
+}
+
+void
+banner(const char *artifact, const char *caption)
+{
+    std::printf("\n================================================"
+                "=============================\n");
+    std::printf("%s — %s\n", artifact, caption);
+    std::printf("Hankins et al., \"Scaling and Characterizing Database "
+                "Workloads\", MICRO 2003\n");
+    std::printf("=================================================="
+                "===========================\n\n");
+}
+
+void
+printMetricByW(const core::StudyResult &study, const char *metric,
+               const std::function<double(const core::RunResult &)> &get,
+               int decimals)
+{
+    std::printf("%-14s", "warehouses");
+    for (const auto &s : study.series)
+        std::printf("  %8uP", s.processors);
+    std::printf("\n");
+    const std::size_t rows = study.series.front().points.size();
+    for (std::size_t i = 0; i < rows; ++i) {
+        std::printf("%-14u",
+                    study.series.front().points[i].warehouses);
+        for (const auto &s : study.series)
+            std::printf("  %9.*f", decimals, get(s.points[i]));
+        std::printf("\n");
+    }
+    std::printf("(metric: %s)\n", metric);
+}
+
+void
+paperNote(const char *note)
+{
+    std::printf("\npaper: %s\n", note);
+}
+
+} // namespace odbsim::bench

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Shared infrastructure for the reproduction benches: each bench
+ * regenerates one table or figure of the paper. The full W x P
+ * characterization study is expensive, so its results are cached in a
+ * CSV next to the working directory and shared by every bench binary
+ * (delete the file, or set ODBSIM_NO_CACHE=1, to force remeasurement).
+ */
+
+#ifndef ODBSIM_BENCH_SUPPORT_BENCH_COMMON_HH
+#define ODBSIM_BENCH_SUPPORT_BENCH_COMMON_HH
+
+#include <functional>
+#include <string>
+
+#include "core/scaling_study.hh"
+
+namespace odbsim::bench
+{
+
+/** The W grid used by the paper-figure benches. */
+std::vector<unsigned> figureWarehouseGrid();
+
+/**
+ * Obtain the full characterization study for @p machine, from the CSV
+ * cache when present, measuring (and caching) otherwise.
+ */
+core::StudyResult sharedStudy(core::MachineKind machine);
+
+/** Serialize a study to CSV. */
+void saveStudy(const core::StudyResult &study, const std::string &path);
+
+/** Load a study from CSV; returns false if absent/invalid. */
+bool loadStudy(const std::string &path, core::StudyResult &out);
+
+/** Print the standard bench banner. */
+void banner(const char *artifact, const char *caption);
+
+/**
+ * Print one metric as a W-by-P table (the shape of the paper's
+ * line-chart figures).
+ */
+void printMetricByW(const core::StudyResult &study, const char *metric,
+                    const std::function<double(const core::RunResult &)>
+                        &get,
+                    int decimals = 2);
+
+/** Print the paper's qualitative expectation for this artifact. */
+void paperNote(const char *note);
+
+} // namespace odbsim::bench
+
+#endif // ODBSIM_BENCH_SUPPORT_BENCH_COMMON_HH

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * CMP design study: the use case that motivates the paper — an
+ * architect sizing a chip multiprocessor for OLTP picks a
+ * representative workload configuration (at/above the pivot) and
+ * explores processor count, L3 capacity and bus bandwidth there,
+ * instead of simulating fully scaled setups.
+ */
+
+#include <cstdio>
+
+#include "analysis/iron_law.hh"
+#include "analysis/table.hh"
+#include "core/client_table.hh"
+#include "core/experiment.hh"
+
+int
+main()
+{
+    using namespace odbsim;
+    using analysis::TextTable;
+
+    // The paper's recommendation: 200 warehouses is a representative
+    // scaled setup (Section 6.2).
+    const unsigned rep_w = 200;
+    core::RunKnobs knobs;
+    knobs.measure = ticksFromSeconds(1.2);
+
+    std::printf("CMP design exploration at the representative %u-"
+                "warehouse configuration\n\n",
+                rep_w);
+
+    // Axis 1: processor count (the CMP core-count question).
+    std::printf("Processor scaling (iron law: TPS = u*P*F/(IPX*CPI)):\n");
+    TextTable t({"P", "tps", "speedup", "cpi", "coh/L3", "bus%",
+                 "ioq"});
+    double tps1 = 0.0;
+    for (const unsigned p : {1u, 2u, 4u}) {
+        core::OltpConfiguration cfg;
+        cfg.warehouses = rep_w;
+        cfg.processors = p;
+        const core::RunResult r = core::ExperimentRunner::run(cfg, knobs);
+        if (p == 1)
+            tps1 = r.tps;
+        t.addRow({std::to_string(p), TextTable::num(r.tps, 0),
+                  TextTable::num(r.tps / tps1, 2),
+                  TextTable::num(r.cpi, 2),
+                  TextTable::num(r.coherenceShareOfL3, 3),
+                  TextTable::num(r.busUtil * 100, 1),
+                  TextTable::num(r.ioqCycles, 0)});
+    }
+    t.print();
+    std::printf("\ncoh/L3 stays tiny: coherence misses are NOT the "
+                "bottleneck — OLTP scales well onto CMPs (paper "
+                "Section 5.2 / Conclusions).\n\n");
+
+    // Axis 2: L3 capacity at 4P — where the cycles actually go.
+    std::printf("L3 capacity scaling at 4P:\n");
+    TextTable t2({"L3", "tps", "cpi", "L3 CPI share", "mpiK"});
+    for (const std::uint64_t kb : {512u, 1024u, 2048u, 4096u}) {
+        core::MachinePreset preset =
+            core::makeMachine(core::MachineKind::XeonQuadMp, 4,
+                              knobs.samplePeriod, knobs.seed);
+        preset.sys.hierarchy.l3 = {kb * KiB, 8, 64};
+        const core::RunResult r = core::ExperimentRunner::runWithPreset(
+            preset, rep_w, 0, knobs);
+        t2.addRow({std::to_string(kb) + "KB",
+                   TextTable::num(r.tps, 0), TextTable::num(r.cpi, 2),
+                   TextTable::num(r.breakdown.l3Share(), 2),
+                   TextTable::num(r.mpi * 1e3, 2)});
+    }
+    t2.print();
+    std::printf("\nL3 misses dominate CPI (~60%% in the paper): cache "
+                "capacity, not coherence, is where a CMP design for "
+                "OLTP should spend transistors.\n");
+    return 0;
+}

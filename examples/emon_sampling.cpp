@@ -1,0 +1,83 @@
+/**
+ * @file
+ * EMON sampling demo: reproduce the paper's measurement methodology
+ * (Section 3.3) — round-robin counter groups over timed slices,
+ * repeated several times — and compare the sampled estimates against
+ * the simulator's ground truth, something the original authors could
+ * never do on real hardware.
+ */
+
+#include <cstdio>
+
+#include "core/machine.hh"
+#include "db/database.hh"
+#include "odb/workload.hh"
+#include "perfmon/sampler.hh"
+
+int
+main()
+{
+    using namespace odbsim;
+
+    // A 4P, 100-warehouse setup, as in the study's mid-range.
+    const core::MachinePreset preset =
+        core::makeMachine(core::MachineKind::XeonQuadMp, 4);
+    os::System sys(preset.sys);
+    db::DatabaseConfig dbcfg;
+    dbcfg.schema.warehouses = 100;
+    dbcfg.cacheWarehouseEquivalents = preset.cacheWarehouseEquivalents;
+    db::Database database(sys, dbcfg);
+    database.start();
+    odb::WorkloadConfig wcfg;
+    wcfg.clients = 48; // Table 1 for (100 W, 4P).
+    odb::OdbWorkload workload(database, wcfg);
+    workload.start();
+    database.instantWarm();
+
+    std::printf("warming up...\n");
+    sys.runFor(ticksFromSeconds(0.8));
+    sys.beginMeasurement();
+    workload.resetStats();
+
+    // The paper: each event measured for 10 s round-robin, repeated 6
+    // times. Scaled to simulation time: 30 ms slices, 6 rounds.
+    perfmon::EmonSampler sampler;
+    std::printf("sampling: %zu groups x 30 ms slices x 6 rounds...\n",
+                perfmon::EmonSampler::defaultGroups().size());
+    const perfmon::SampledMeasurement m =
+        sampler.measure(sys, 30 * tickPerMs, 6);
+
+    auto row = [](const char *name, double est, double act) {
+        const double err = act != 0.0 ? (est / act - 1.0) * 100.0 : 0.0;
+        std::printf("  %-22s %14.3e %14.3e %+7.1f%%\n", name, est, act,
+                    err);
+    };
+    std::printf("\n%-24s %14s %14s %8s\n", "event (totals)", "sampled",
+                "actual", "error");
+    row("instructions", m.estimated.instructions.total(),
+        m.actual.instructions.total());
+    row("cycles", m.estimated.cycles.total(), m.actual.cycles.total());
+    row("branch mispredicts", m.estimated.branchMispredicts.total(),
+        m.actual.branchMispredicts.total());
+    row("TLB misses", m.estimated.tlbMisses.total(),
+        m.actual.tlbMisses.total());
+    row("TC misses", m.estimated.tcMisses.total(),
+        m.actual.tcMisses.total());
+    row("L2 misses", m.estimated.l2Misses.total(),
+        m.actual.l2Misses.total());
+    row("L3 misses", m.estimated.l3Misses.total(),
+        m.actual.l3Misses.total());
+
+    std::printf("\nderived metrics:\n");
+    std::printf("  CPI     sampled %.3f   actual %.3f\n",
+                m.estimated.cpi(), m.actual.cpi());
+    std::printf("  OS CPI  sampled %.3f   actual %.3f   <- the noisy "
+                "one (paper Section 5.1)\n",
+                m.estimated.cpiOs(), m.actual.cpiOs());
+    std::printf("  L3 MPI  sampled %.5f   actual %.5f\n",
+                m.estimated.mpi(), m.actual.mpi());
+    std::printf("\nThe sampled estimates track ground truth; the OS-"
+                "space ratios carry the most sampling noise, exactly "
+                "the variance the paper reports in Figure 11.\n");
+    return 0;
+}

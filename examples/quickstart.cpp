@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Quickstart: measure one OLTP configuration and print the iron-law
+ * view of its performance.
+ *
+ *   ./quickstart [warehouses] [processors] [clients]
+ *
+ * With no arguments this measures a 50-warehouse, 4-processor cached
+ * setup using the paper's Table 1 client count.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "analysis/table.hh"
+#include "core/experiment.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace odbsim;
+
+    core::OltpConfiguration cfg;
+    cfg.warehouses = argc > 1 ? std::atoi(argv[1]) : 50;
+    cfg.processors = argc > 2 ? std::atoi(argv[2]) : 4;
+    cfg.clients = argc > 3 ? std::atoi(argv[3]) : 0;
+
+    std::printf("odbsim quickstart: %u warehouses, %uP, %s clients\n\n",
+                cfg.warehouses, cfg.processors,
+                cfg.clients ? "explicit" : "Table-1");
+
+    const core::RunResult r = core::ExperimentRunner::run(cfg);
+
+    using analysis::TextTable;
+    TextTable t({"metric", "value"});
+    t.addRow({"clients", TextTable::num(std::uint64_t(r.clients))});
+    t.addRow({"transactions measured",
+              TextTable::num(r.txnsCommitted)});
+    t.addRow({"TPS", TextTable::num(r.tps, 1)});
+    t.addRow({"iron-law TPS (u*P*F/(IPX*CPI))",
+              TextTable::num(r.ironLawTps, 1)});
+    t.addRow({"CPU utilization", TextTable::num(r.cpuUtil, 3)});
+    t.addRow({"OS share of cycles", TextTable::num(r.osCycleShare, 3)});
+    t.addRow({"IPX (M instr/txn)", TextTable::num(r.ipx / 1e6, 3)});
+    t.addRow({"  user IPX (M)", TextTable::num(r.ipxUser / 1e6, 3)});
+    t.addRow({"  OS IPX (M)", TextTable::num(r.ipxOs / 1e6, 3)});
+    t.addRow({"CPI", TextTable::num(r.cpi, 2)});
+    t.addRow({"  user CPI", TextTable::num(r.cpiUser, 2)});
+    t.addRow({"  OS CPI", TextTable::num(r.cpiOs, 2)});
+    t.addRow({"L3 MPI (x1000)", TextTable::num(r.mpi * 1e3, 3)});
+    t.addRow({"L3-miss share of CPI",
+              TextTable::num(r.breakdown.l3Share(), 3)});
+    t.addRow({"bus utilization", TextTable::num(r.busUtil, 3)});
+    t.addRow({"IOQ cycles", TextTable::num(r.ioqCycles, 1)});
+    t.addRow({"disk reads KB/txn", TextTable::num(r.diskReadKbPerTxn, 2)});
+    t.addRow({"disk writes KB/txn",
+              TextTable::num(r.diskWriteKbPerTxn, 2)});
+    t.addRow({"log KB/txn", TextTable::num(r.logKbPerTxn, 2)});
+    t.addRow({"context switches/txn", TextTable::num(r.ctxPerTxn, 2)});
+    t.addRow({"avg latency (ms)", TextTable::num(r.avgLatencyMs, 2)});
+    t.addRow({"p95 latency (ms)", TextTable::num(r.p95LatencyMs, 2)});
+    t.addRow({"buffer-cache hit ratio",
+              TextTable::num(r.bufferHitRatio, 4)});
+    t.print();
+    return 0;
+}

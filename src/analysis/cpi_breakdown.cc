@@ -1,0 +1,31 @@
+#include "analysis/cpi_breakdown.hh"
+
+#include <algorithm>
+
+namespace odbsim::analysis
+{
+
+CpiComponents
+computeCpiBreakdown(const perfmon::SystemCounters &c,
+                    double ioq_1p_cycles, const cpu::StallCosts &costs)
+{
+    CpiComponents out;
+    const double instr = c.instructions.total();
+    if (instr <= 0.0)
+        return out;
+
+    out.inst = costs.baseCyclesPerInstr;
+    out.branch = c.branchMispredicts.total() *
+                 costs.branchMispredictCycles / instr;
+    out.tlb = c.tlbMisses.total() * costs.tlbMissCycles / instr;
+    out.tc = c.tcMisses.total() * costs.tcMissCycles / instr;
+    out.l2 = std::max(0.0, c.l2Misses.total() - c.l3Misses.total()) *
+             costs.l2MissCycles / instr;
+    const double ioq_excess = std::max(0.0, c.ioqCycles - ioq_1p_cycles);
+    out.l3 = c.l3Misses.total() * (costs.l3MissCycles + ioq_excess) /
+             instr;
+    out.other = c.cpi() - out.computed();
+    return out;
+}
+
+} // namespace odbsim::analysis

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * CPI decomposition by microarchitectural event, following the paper's
+ * Tables 3 and 4:
+ *
+ * | Component | Formula                                              |
+ * |-----------|------------------------------------------------------|
+ * | Inst      | 0.5 per instruction                                  |
+ * | Branch    | mispredictions * 20                                  |
+ * | TLB       | TLB misses * 20                                      |
+ * | TC        | TC misses * 20                                       |
+ * | L2        | (L2 misses - L3 misses) * 16                         |
+ * | L3        | L3 misses * (300 + IOQ time - IOQ time at 1P)        |
+ * | Other     | measured cycles/instr - sum of computed components   |
+ */
+
+#ifndef ODBSIM_ANALYSIS_CPI_BREAKDOWN_HH
+#define ODBSIM_ANALYSIS_CPI_BREAKDOWN_HH
+
+#include "cpu/stall_costs.hh"
+#include "perfmon/events.hh"
+
+namespace odbsim::analysis
+{
+
+/** Per-event CPI contributions (cycles per instruction). */
+struct CpiComponents
+{
+    double inst = 0.0;
+    double branch = 0.0;
+    double tlb = 0.0;
+    double tc = 0.0;
+    double l2 = 0.0;
+    double l3 = 0.0;
+    double other = 0.0;
+
+    double
+    computed() const
+    {
+        return inst + branch + tlb + tc + l2 + l3;
+    }
+
+    double total() const { return computed() + other; }
+
+    /** Fraction of the total CPI attributed to L3 misses. */
+    double
+    l3Share() const
+    {
+        const double t = total();
+        return t > 0.0 ? l3 / t : 0.0;
+    }
+};
+
+/**
+ * Decompose measured counters into CPI components.
+ *
+ * @param c Counter deltas over the measurement window.
+ * @param ioq_1p_cycles IOQ residency measured on the 1P baseline
+ *        (the paper's 102 cycles).
+ * @param costs The Table 3 stall-cost model.
+ */
+CpiComponents computeCpiBreakdown(const perfmon::SystemCounters &c,
+                                  double ioq_1p_cycles,
+                                  const cpu::StallCosts &costs = {});
+
+} // namespace odbsim::analysis
+
+#endif // ODBSIM_ANALYSIS_CPI_BREAKDOWN_HH

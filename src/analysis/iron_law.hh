@@ -1,0 +1,52 @@
+/**
+ * @file
+ * The iron law of database performance (paper Section 3.4):
+ *
+ *     TPS_mp = (P * F) / (IPX * CPI)
+ *
+ * Throughput rises with processor count P and clock F, and falls with
+ * the instructions executed per transaction (IPX) and the cycles per
+ * instruction (CPI).
+ */
+
+#ifndef ODBSIM_ANALYSIS_IRON_LAW_HH
+#define ODBSIM_ANALYSIS_IRON_LAW_HH
+
+namespace odbsim::analysis
+{
+
+/** Multiprocessor transaction throughput predicted by the iron law. */
+inline double
+ironLawTps(unsigned processors, double freq_hz, double ipx, double cpi)
+{
+    if (ipx <= 0.0 || cpi <= 0.0)
+        return 0.0;
+    return static_cast<double>(processors) * freq_hz / (ipx * cpi);
+}
+
+/**
+ * The iron law solved for IPX given an observed throughput — useful
+ * for cross-checking measured path lengths.
+ */
+inline double
+ironLawIpx(unsigned processors, double freq_hz, double tps, double cpi)
+{
+    if (tps <= 0.0 || cpi <= 0.0)
+        return 0.0;
+    return static_cast<double>(processors) * freq_hz / (tps * cpi);
+}
+
+/**
+ * Utilization-corrected iron law: with CPUs busy a fraction u of the
+ * time, the delivered throughput is u * P * F / (IPX * CPI).
+ */
+inline double
+ironLawTpsAtUtilization(unsigned processors, double freq_hz, double ipx,
+                        double cpi, double utilization)
+{
+    return ironLawTps(processors, freq_hz, ipx, cpi) * utilization;
+}
+
+} // namespace odbsim::analysis
+
+#endif // ODBSIM_ANALYSIS_IRON_LAW_HH

@@ -1,0 +1,59 @@
+#include "analysis/linreg.hh"
+
+#include <cmath>
+
+#include "sim/logging.hh"
+
+namespace odbsim::analysis
+{
+
+LinearFit
+fitLine(std::span<const double> xs, std::span<const double> ys)
+{
+    odbsim_assert(xs.size() == ys.size(), "x/y size mismatch");
+    odbsim_assert(xs.size() >= 2, "need at least two points to fit");
+
+    const double n = static_cast<double>(xs.size());
+    double sx = 0.0, sy = 0.0, sxx = 0.0, sxy = 0.0;
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+        sx += xs[i];
+        sy += ys[i];
+        sxx += xs[i] * xs[i];
+        sxy += xs[i] * ys[i];
+    }
+    const double denom = n * sxx - sx * sx;
+
+    LinearFit fit;
+    fit.n = xs.size();
+    if (std::abs(denom) < 1e-12) {
+        // Vertical data (all x equal): fall back to a flat line at the
+        // mean, which keeps downstream math defined.
+        fit.slope = 0.0;
+        fit.intercept = sy / n;
+    } else {
+        fit.slope = (n * sxy - sx * sy) / denom;
+        fit.intercept = (sy - fit.slope * sx) / n;
+    }
+
+    const double mean_y = sy / n;
+    double ss_tot = 0.0;
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+        const double resid = ys[i] - fit.predict(xs[i]);
+        fit.sse += resid * resid;
+        const double dev = ys[i] - mean_y;
+        ss_tot += dev * dev;
+    }
+    fit.r2 = ss_tot > 0.0 ? 1.0 - fit.sse / ss_tot : 1.0;
+    return fit;
+}
+
+double
+intersectX(const LinearFit &a, const LinearFit &b, double fallback)
+{
+    const double dslope = a.slope - b.slope;
+    if (std::abs(dslope) < 1e-12)
+        return fallback;
+    return (b.intercept - a.intercept) / dslope;
+}
+
+} // namespace odbsim::analysis

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Ordinary least-squares line fitting, the building block of the
+ * paper's Section 6 linear approximation models.
+ */
+
+#ifndef ODBSIM_ANALYSIS_LINREG_HH
+#define ODBSIM_ANALYSIS_LINREG_HH
+
+#include <cstddef>
+#include <span>
+
+namespace odbsim::analysis
+{
+
+/** A fitted line y = slope * x + intercept. */
+struct LinearFit
+{
+    double slope = 0.0;
+    double intercept = 0.0;
+    /** Coefficient of determination. */
+    double r2 = 0.0;
+    /** Sum of squared residuals. */
+    double sse = 0.0;
+    std::size_t n = 0;
+
+    double predict(double x) const { return slope * x + intercept; }
+};
+
+/**
+ * Least-squares fit over paired samples (sizes must match, n >= 2).
+ */
+LinearFit fitLine(std::span<const double> xs, std::span<const double> ys);
+
+/**
+ * x-coordinate where two lines intersect; returns @p fallback when the
+ * lines are (nearly) parallel.
+ */
+double intersectX(const LinearFit &a, const LinearFit &b,
+                  double fallback);
+
+} // namespace odbsim::analysis
+
+#endif // ODBSIM_ANALYSIS_LINREG_HH

@@ -1,0 +1,68 @@
+#include "analysis/piecewise.hh"
+
+#include <algorithm>
+#include <limits>
+
+#include "sim/logging.hh"
+
+namespace odbsim::analysis
+{
+
+PiecewiseFit
+fitTwoSegment(std::span<const double> xs, std::span<const double> ys)
+{
+    odbsim_assert(xs.size() == ys.size(), "x/y size mismatch");
+    odbsim_assert(xs.size() >= 4,
+                  "two-segment fit needs at least 4 points, got ",
+                  xs.size());
+    for (std::size_t i = 1; i < xs.size(); ++i)
+        odbsim_assert(xs[i] >= xs[i - 1], "x values must be sorted");
+
+    PiecewiseFit best;
+    double best_sse = std::numeric_limits<double>::infinity();
+    bool found_structured = false;
+
+    // Prefer splits with the paper's structure — a steep cached
+    // segment meeting a shallow scaled segment — and only fall back
+    // to an unconstrained split when no such split exists.
+    for (int structured = 1; structured >= 0 && !found_structured;
+         --structured) {
+        for (std::size_t split = 2; split + 2 <= xs.size(); ++split) {
+            const LinearFit left =
+                fitLine(xs.subspan(0, split), ys.subspan(0, split));
+            const LinearFit right =
+                fitLine(xs.subspan(split), ys.subspan(split));
+            if (structured && left.slope <= right.slope)
+                continue;
+            const double sse = left.sse + right.sse;
+            if (sse < best_sse) {
+                best_sse = sse;
+                best.cached = left;
+                best.scaled = right;
+                best.breakIndex = split;
+                best.sse = sse;
+                if (structured)
+                    found_structured = true;
+            }
+        }
+    }
+
+    // The pivot is the intersection of the two lines; if they are
+    // parallel, fall back to the midpoint between the segments. The
+    // intersection is clamped into the observed range — beyond it the
+    // two-segment model has no support.
+    const double fallback =
+        0.5 * (xs[best.breakIndex - 1] + xs[best.breakIndex]);
+    best.pivotX = intersectX(best.cached, best.scaled, fallback);
+    best.pivotX = std::clamp(best.pivotX, xs.front(), xs.back());
+    best.pivotY = best.scaled.predict(best.pivotX);
+    return best;
+}
+
+double
+extrapolateScaled(const PiecewiseFit &fit, double x)
+{
+    return fit.scaled.predict(x);
+}
+
+} // namespace odbsim::analysis

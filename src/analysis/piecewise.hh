@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Two-segment piecewise-linear modeling with pivot-point extraction —
+ * the paper's Section 6 method. The CPI/MPI trend over warehouses is
+ * fit by a steep "cached region" line and a shallow "scaled region"
+ * line; their intersection, the *pivot point*, is the smallest
+ * configuration whose behaviour extrapolates to fully scaled setups.
+ */
+
+#ifndef ODBSIM_ANALYSIS_PIECEWISE_HH
+#define ODBSIM_ANALYSIS_PIECEWISE_HH
+
+#include <cstddef>
+#include <span>
+
+#include "analysis/linreg.hh"
+
+namespace odbsim::analysis
+{
+
+/** A fitted two-segment model. */
+struct PiecewiseFit
+{
+    /** Left segment (the cached region). */
+    LinearFit cached;
+    /** Right segment (the scaled region). */
+    LinearFit scaled;
+    /** x of the segment intersection — the pivot point. */
+    double pivotX = 0.0;
+    /** Model value at the pivot. */
+    double pivotY = 0.0;
+    /** First sample index belonging to the scaled segment. */
+    std::size_t breakIndex = 0;
+    /** Total SSE of both segments. */
+    double sse = 0.0;
+
+    /** Evaluate the model (cached line left of the pivot). */
+    double
+    predict(double x) const
+    {
+        return x < pivotX ? cached.predict(x) : scaled.predict(x);
+    }
+};
+
+/**
+ * Fit a two-segment model by scanning every admissible breakpoint
+ * (at least two points per segment) and keeping the split with the
+ * lowest total SSE. Inputs must be sorted by x; needs >= 4 points.
+ */
+PiecewiseFit fitTwoSegment(std::span<const double> xs,
+                           std::span<const double> ys);
+
+/**
+ * Extrapolate the scaled-region line of @p fit to configuration @p x
+ * (the paper's use of the pivot: behaviours of larger setups follow
+ * the scaled line).
+ */
+double extrapolateScaled(const PiecewiseFit &fit, double x);
+
+} // namespace odbsim::analysis
+
+#endif // ODBSIM_ANALYSIS_PIECEWISE_HH

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Plain-text table formatting for the bench harnesses that regenerate
+ * the paper's tables and figures.
+ */
+
+#ifndef ODBSIM_ANALYSIS_TABLE_HH
+#define ODBSIM_ANALYSIS_TABLE_HH
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace odbsim::analysis
+{
+
+/**
+ * A right-aligned fixed-width text table.
+ */
+class TextTable
+{
+  public:
+    explicit TextTable(std::vector<std::string> headers);
+
+    /** Append a row of preformatted cells. */
+    TextTable &addRow(std::vector<std::string> cells);
+
+    /** Format a double with @p decimals digits. */
+    static std::string num(double v, int decimals = 2);
+
+    /** Format an integer. */
+    static std::string num(std::uint64_t v);
+
+    /** Render to a string. */
+    std::string str() const;
+
+    /** Print to stdout. */
+    void print() const;
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace odbsim::analysis
+
+#endif // ODBSIM_ANALYSIS_TABLE_HH

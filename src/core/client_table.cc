@@ -1,0 +1,62 @@
+#include "core/client_table.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace odbsim::core
+{
+
+namespace
+{
+
+constexpr unsigned tableW[] = {10, 50, 100, 500, 800};
+constexpr unsigned tableC[][3] = {
+    // 1P, 2P, 4P
+    {8, 10, 10},   // 10 W
+    {8, 16, 32},   // 50 W
+    {6, 16, 48},   // 100 W
+    {12, 25, 56},  // 500 W
+    {13, 36, 64},  // 800 W
+};
+constexpr unsigned tableRows = 5;
+
+unsigned
+columnFor(unsigned processors)
+{
+    if (processors <= 1)
+        return 0;
+    if (processors <= 2)
+        return 1;
+    return 2;
+}
+
+} // namespace
+
+unsigned
+paperClients(unsigned warehouses, unsigned processors)
+{
+    const unsigned col = columnFor(processors);
+    if (warehouses <= tableW[0])
+        return tableC[0][col];
+
+    // Find the surrounding rows (extrapolate along the last segment
+    // beyond 800 W).
+    unsigned hi = tableRows - 1;
+    for (unsigned r = 1; r < tableRows; ++r) {
+        if (warehouses <= tableW[r]) {
+            hi = r;
+            break;
+        }
+    }
+    const unsigned lo = hi - 1;
+    const double frac =
+        (static_cast<double>(warehouses) - tableW[lo]) /
+        (static_cast<double>(tableW[hi]) - tableW[lo]);
+    const double c = tableC[lo][col] +
+                     frac * (static_cast<double>(tableC[hi][col]) -
+                             tableC[lo][col]);
+    const double clamped = std::clamp(c, 1.0, 128.0);
+    return static_cast<unsigned>(std::lround(clamped));
+}
+
+} // namespace odbsim::core

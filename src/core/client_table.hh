@@ -1,0 +1,31 @@
+/**
+ * @file
+ * The paper's Table 1: the number of concurrent clients needed to keep
+ * CPU utilization above 90% at each (warehouses, processors)
+ * configuration, with interpolation for intermediate warehouse counts.
+ *
+ * |            |        Clients       |
+ * | Warehouses |   1P  |   2P  |  4P  |
+ * |        10  |    8  |   10  |  10  |
+ * |        50  |    8  |   16  |  32  |
+ * |       100  |    6  |   16  |  48  |
+ * |       500  |   12  |   25  |  56  |
+ * |       800  |   13  |   36  |  64  |
+ */
+
+#ifndef ODBSIM_CORE_CLIENT_TABLE_HH
+#define ODBSIM_CORE_CLIENT_TABLE_HH
+
+namespace odbsim::core
+{
+
+/**
+ * Clients from the paper's Table 1, linearly interpolated in W (and
+ * extrapolated beyond 800 W along the last segment). P snaps to the
+ * nearest of {1, 2, 4}.
+ */
+unsigned paperClients(unsigned warehouses, unsigned processors);
+
+} // namespace odbsim::core
+
+#endif // ODBSIM_CORE_CLIENT_TABLE_HH

@@ -1,0 +1,139 @@
+#include "core/experiment.hh"
+
+#include "analysis/iron_law.hh"
+#include "core/client_table.hh"
+#include "db/database.hh"
+#include "odb/workload.hh"
+#include "os/system.hh"
+#include "sim/logging.hh"
+
+namespace odbsim::core
+{
+
+RunResult
+ExperimentRunner::run(const OltpConfiguration &cfg, const RunKnobs &knobs)
+{
+    const MachinePreset preset = makeMachine(
+        cfg.machine, cfg.processors, knobs.samplePeriod, knobs.seed);
+    return runWithPreset(preset, cfg.warehouses, cfg.clients, knobs);
+}
+
+RunResult
+ExperimentRunner::runWithPreset(const MachinePreset &preset,
+                                unsigned warehouses, unsigned cfg_clients,
+                                const RunKnobs &knobs)
+{
+    os::System sys(preset.sys);
+
+    db::DatabaseConfig dbcfg;
+    dbcfg.schema.warehouses = warehouses;
+    dbcfg.schema.seed = knobs.seed;
+    dbcfg.cacheWarehouseEquivalents = preset.cacheWarehouseEquivalents;
+    db::Database database(sys, dbcfg);
+    database.start();
+
+    const unsigned clients =
+        cfg_clients ? cfg_clients
+                    : paperClients(warehouses, preset.sys.numCpus);
+    odb::WorkloadConfig wcfg;
+    wcfg.clients = clients;
+    wcfg.seed = knobs.seed * 7919 + warehouses;
+    odb::OdbWorkload workload(database, wcfg);
+    workload.start();
+
+    if (knobs.instantWarm)
+        database.instantWarm();
+    // Dynamic warm-up: larger databases need more transactions to
+    // reach steady-state residency of the skew-hot rows.
+    const Tick extra_warm =
+        ticksFromMs(static_cast<double>(warehouses) * 4.0);
+    sys.runFor(knobs.warmup + extra_warm);
+
+    sys.beginMeasurement();
+    workload.resetStats();
+    database.resetStats();
+    sys.runFor(knobs.measure);
+
+    RunResult r;
+    r.warehouses = warehouses;
+    r.processors = preset.sys.numCpus;
+    r.clients = clients;
+
+    const Tick window = sys.measurementWindow();
+    r.measureSeconds = secondsFromTicks(window);
+    r.txnsCommitted = workload.committed();
+    r.tps = workload.tps(window);
+
+    r.counters = perfmon::SystemCounters::read(sys);
+    r.counters.busUtilization =
+        sys.memsys().bus().utilizationStat().mean();
+    r.counters.ioqCycles = sys.memsys().bus().ioqStat().mean();
+
+    r.cpuUtil = sys.avgCpuUtilization();
+    const auto &c = r.counters;
+    r.osCycleShare = c.cycles.total() > 0.0
+                         ? c.cycles.os / c.cycles.total()
+                         : 0.0;
+    r.osInstrShare = c.instructions.total() > 0.0
+                         ? c.instructions.os / c.instructions.total()
+                         : 0.0;
+
+    const double txns = static_cast<double>(r.txnsCommitted);
+    if (txns > 0.0) {
+        r.ipx = c.instructions.total() / txns;
+        r.ipxUser = c.instructions.user / txns;
+        r.ipxOs = c.instructions.os / txns;
+    }
+    r.cpi = c.cpi();
+    r.cpiUser = c.cpiUser();
+    r.cpiOs = c.cpiOs();
+    r.mpi = c.mpi();
+    r.mpiUser = c.mpiUser();
+    r.mpiOs = c.mpiOs();
+
+    r.ironLawTps = analysis::ironLawTpsAtUtilization(
+        preset.sys.numCpus, preset.sys.core.freqHz, r.ipx, r.cpi,
+        r.cpuUtil);
+
+    const auto &disks = sys.disks();
+    if (txns > 0.0) {
+        r.diskReadKbPerTxn =
+            static_cast<double>(disks.dataBytesRead()) / 1024.0 / txns;
+        r.diskWriteKbPerTxn =
+            static_cast<double>(disks.dataBytesWritten()) / 1024.0 / txns;
+        r.logKbPerTxn =
+            static_cast<double>(disks.logBytesWritten()) / 1024.0 / txns;
+        r.diskReadsPerTxn =
+            static_cast<double>(disks.dataReads()) / txns;
+        r.ctxPerTxn =
+            static_cast<double>(sys.sched().contextSwitches()) / txns;
+    }
+    {
+        // Mix-wide response time (weighted by per-type counts).
+        double sum = 0.0;
+        for (unsigned i = 0; i < db::numTxnTypes; ++i) {
+            const auto &lat =
+                workload.latencyMs(static_cast<db::TxnType>(i));
+            sum += lat.mean() * static_cast<double>(lat.count());
+        }
+        if (txns > 0.0)
+            r.avgLatencyMs = sum / txns;
+        r.p95LatencyMs = workload.latencyHistogramMs().quantile(0.95);
+    }
+    r.bufferHitRatio = database.bufferCache().hitRatio();
+    r.avgDiskUtil = disks.avgDataUtilization(window);
+    r.diskReadLatencyMs = disks.avgReadLatencyMs();
+
+    r.busUtil = r.counters.busUtilization;
+    r.ioqCycles = r.counters.ioqCycles;
+    r.coherenceShareOfL3 =
+        c.l3Misses.total() > 0.0
+            ? c.coherenceMisses.total() / c.l3Misses.total()
+            : 0.0;
+
+    r.breakdown =
+        analysis::computeCpiBreakdown(r.counters, knobs.ioq1pCycles);
+    return r;
+}
+
+} // namespace odbsim::core

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * ExperimentRunner: build a machine + database + workload for one OLTP
+ * configuration, warm it up, measure it, and return a RunResult — one
+ * data point of the paper's characterization.
+ */
+
+#ifndef ODBSIM_CORE_EXPERIMENT_HH
+#define ODBSIM_CORE_EXPERIMENT_HH
+
+#include <cstdint>
+
+#include "core/machine.hh"
+#include "core/metrics.hh"
+#include "sim/types.hh"
+
+namespace odbsim::core
+{
+
+/** One point of the OLTP configuration space (Section 3.2). */
+struct OltpConfiguration
+{
+    /** Workload scale (the cached-vs-scaled axis). */
+    unsigned warehouses = 10;
+    /** Processors enabled. */
+    unsigned processors = 4;
+    /** Concurrent clients; 0 selects the paper's Table 1 value. */
+    unsigned clients = 0;
+    MachineKind machine = MachineKind::XeonQuadMp;
+};
+
+/** Simulation-control knobs. */
+struct RunKnobs
+{
+    /** Dynamic warm-up after the instant buffer-cache prefill. */
+    Tick warmup = ticksFromSeconds(0.4);
+    /** Measurement window. */
+    Tick measure = ticksFromSeconds(1.5);
+    /** CPU-model set-sampling factor. */
+    std::uint32_t samplePeriod = 16;
+    std::uint64_t seed = 42;
+    /** Pre-populate the buffer cache in hotness order (substitute for
+     *  the paper's 20-minute warm-up). */
+    bool instantWarm = true;
+    /** IOQ residency of the 1P baseline for the Table 4 L3 formula. */
+    double ioq1pCycles = 102.0;
+};
+
+/**
+ * Runs one configuration end to end.
+ */
+class ExperimentRunner
+{
+  public:
+    /** Measure @p cfg and return its metrics. */
+    static RunResult run(const OltpConfiguration &cfg,
+                         const RunKnobs &knobs = {});
+
+    /**
+     * Measure a configuration on a hand-built machine (ablations:
+     * custom cache sizes, disk counts, bus parameters).
+     *
+     * @param clients 0 selects the paper's Table 1 value.
+     */
+    static RunResult runWithPreset(const MachinePreset &preset,
+                                   unsigned warehouses, unsigned clients,
+                                   const RunKnobs &knobs = {});
+};
+
+} // namespace odbsim::core
+
+#endif // ODBSIM_CORE_EXPERIMENT_HH

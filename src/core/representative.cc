@@ -1,0 +1,39 @@
+#include "core/representative.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/logging.hh"
+
+namespace odbsim::core
+{
+
+Recommendation
+RepresentativeConfigSelector::select(const StudyResult &study,
+                                     double margin, unsigned granularity)
+{
+    odbsim_assert(!study.series.empty(), "empty study");
+    odbsim_assert(margin >= 1.0, "margin must be >= 1");
+    odbsim_assert(granularity >= 1, "granularity must be >= 1");
+
+    Recommendation rec;
+    for (const auto &series : study.series) {
+        PivotRow row;
+        row.processors = series.processors;
+        row.cpiFit = series.cpiFit();
+        row.mpiFit = series.mpiFit();
+        row.cpiPivotW = row.cpiFit.pivotX;
+        row.mpiPivotW = row.mpiFit.pivotX;
+        rec.maxPivotW = std::max({rec.maxPivotW, row.cpiPivotW,
+                                  row.mpiPivotW});
+        rec.pivots.push_back(std::move(row));
+    }
+
+    const double padded = rec.maxPivotW * margin;
+    rec.recommendedW = static_cast<unsigned>(
+        std::ceil(padded / static_cast<double>(granularity)) *
+        granularity);
+    return rec;
+}
+
+} // namespace odbsim::core

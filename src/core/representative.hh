@@ -1,0 +1,62 @@
+/**
+ * @file
+ * RepresentativeConfigSelector: the paper's Section 6.2 method — use
+ * the CPI/MPI pivot points to choose the minimal workload
+ * configuration whose behaviour extrapolates to fully scaled setups,
+ * so simulation studies need not model anything larger.
+ */
+
+#ifndef ODBSIM_CORE_REPRESENTATIVE_HH
+#define ODBSIM_CORE_REPRESENTATIVE_HH
+
+#include <vector>
+
+#include "core/scaling_study.hh"
+
+namespace odbsim::core
+{
+
+/** Pivot points for one processor count (paper Table 5). */
+struct PivotRow
+{
+    unsigned processors = 0;
+    double cpiPivotW = 0.0;
+    double mpiPivotW = 0.0;
+    analysis::PiecewiseFit cpiFit;
+    analysis::PiecewiseFit mpiFit;
+};
+
+/** The selector's recommendation. */
+struct Recommendation
+{
+    std::vector<PivotRow> pivots;
+    /** Largest pivot over all processor counts and both metrics. */
+    double maxPivotW = 0.0;
+    /**
+     * Recommended minimal representative warehouse count: the largest
+     * pivot padded by a safety margin and rounded up to a round
+     * configuration size (the paper proposes 200 W for pivots near
+     * 150).
+     */
+    unsigned recommendedW = 0;
+};
+
+/**
+ * Derives pivot points and the minimal representative configuration
+ * from a completed scaling study.
+ */
+class RepresentativeConfigSelector
+{
+  public:
+    /**
+     * @param margin Safety factor applied to the largest pivot.
+     * @param granularity Recommendation is rounded up to a multiple.
+     */
+    static Recommendation select(const StudyResult &study,
+                                 double margin = 1.3,
+                                 unsigned granularity = 50);
+};
+
+} // namespace odbsim::core
+
+#endif // ODBSIM_CORE_REPRESENTATIVE_HH

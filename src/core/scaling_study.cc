@@ -1,0 +1,68 @@
+#include "core/scaling_study.hh"
+
+#include "sim/logging.hh"
+
+namespace odbsim::core
+{
+
+std::vector<double>
+StudySeries::warehouseAxis() const
+{
+    std::vector<double> xs;
+    xs.reserve(points.size());
+    for (const auto &p : points)
+        xs.push_back(static_cast<double>(p.warehouses));
+    return xs;
+}
+
+analysis::PiecewiseFit
+StudySeries::cpiFit() const
+{
+    const auto xs = warehouseAxis();
+    const auto ys = metric([](const RunResult &r) { return r.cpi; });
+    return analysis::fitTwoSegment(xs, ys);
+}
+
+analysis::PiecewiseFit
+StudySeries::mpiFit() const
+{
+    const auto xs = warehouseAxis();
+    const auto ys = metric([](const RunResult &r) { return r.mpi; });
+    return analysis::fitTwoSegment(xs, ys);
+}
+
+const StudySeries &
+StudyResult::forProcessors(unsigned p) const
+{
+    for (const auto &s : series) {
+        if (s.processors == p)
+            return s;
+    }
+    odbsim_fatal("no series for ", p, " processors in study result");
+}
+
+StudyResult
+ScalingStudy::run(const StudyConfig &cfg)
+{
+    odbsim_assert(!cfg.warehouses.empty() && !cfg.processors.empty(),
+                  "empty study grid");
+    StudyResult out;
+    for (const unsigned p : cfg.processors) {
+        StudySeries series;
+        series.processors = p;
+        for (const unsigned w : cfg.warehouses) {
+            OltpConfiguration point;
+            point.warehouses = w;
+            point.processors = p;
+            point.machine = cfg.machine;
+            RunResult r = ExperimentRunner::run(point, cfg.knobs);
+            if (cfg.onPoint)
+                cfg.onPoint(r);
+            series.points.push_back(std::move(r));
+        }
+        out.series.push_back(std::move(series));
+    }
+    return out;
+}
+
+} // namespace odbsim::core

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * ScalingStudy: the paper's full characterization sweep — measure a
+ * grid of (warehouses × processors) configurations and derive the
+ * Section 6 piecewise-linear models and pivot points.
+ */
+
+#ifndef ODBSIM_CORE_SCALING_STUDY_HH
+#define ODBSIM_CORE_SCALING_STUDY_HH
+
+#include <functional>
+#include <vector>
+
+#include "analysis/piecewise.hh"
+#include "core/experiment.hh"
+#include "core/metrics.hh"
+
+namespace odbsim::core
+{
+
+/** Sweep definition. */
+struct StudyConfig
+{
+    std::vector<unsigned> warehouses = {10,  25,  35,  50,  75,  100,
+                                        150, 200, 300, 400, 600, 800};
+    std::vector<unsigned> processors = {1, 2, 4};
+    MachineKind machine = MachineKind::XeonQuadMp;
+    RunKnobs knobs;
+    /** Optional progress callback (per finished configuration). */
+    std::function<void(const RunResult &)> onPoint;
+};
+
+/** All measurements for one processor count. */
+struct StudySeries
+{
+    unsigned processors = 0;
+    std::vector<RunResult> points; ///< Ordered by warehouses.
+
+    /** Extract one metric across the warehouse axis. */
+    std::vector<double>
+    metric(const std::function<double(const RunResult &)> &get) const
+    {
+        std::vector<double> out;
+        out.reserve(points.size());
+        for (const auto &p : points)
+            out.push_back(get(p));
+        return out;
+    }
+
+    /** The warehouse axis as doubles. */
+    std::vector<double> warehouseAxis() const;
+
+    /** Two-segment fit of CPI over warehouses (Figure 17). */
+    analysis::PiecewiseFit cpiFit() const;
+
+    /** Two-segment fit of L3 MPI over warehouses (Figure 18). */
+    analysis::PiecewiseFit mpiFit() const;
+};
+
+/** Full study output. */
+struct StudyResult
+{
+    std::vector<StudySeries> series; ///< One per processor count.
+
+    const StudySeries &forProcessors(unsigned p) const;
+};
+
+/**
+ * Runs the sweep.
+ */
+class ScalingStudy
+{
+  public:
+    static StudyResult run(const StudyConfig &cfg);
+};
+
+} // namespace odbsim::core
+
+#endif // ODBSIM_CORE_SCALING_STUDY_HH

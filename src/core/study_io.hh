@@ -1,0 +1,31 @@
+/**
+ * @file
+ * CSV persistence for study results, so expensive characterization
+ * sweeps can be archived, diffed and shared between tools.
+ */
+
+#ifndef ODBSIM_CORE_STUDY_IO_HH
+#define ODBSIM_CORE_STUDY_IO_HH
+
+#include <iosfwd>
+#include <string>
+
+#include "core/scaling_study.hh"
+
+namespace odbsim::core
+{
+
+/** Serialize a study as CSV (one row per measured configuration). */
+void saveStudyCsv(const StudyResult &study, std::ostream &out);
+bool saveStudyCsv(const StudyResult &study, const std::string &path);
+
+/**
+ * Parse a study from CSV written by saveStudyCsv.
+ * @return false on missing file or malformed content.
+ */
+bool loadStudyCsv(std::istream &in, StudyResult &out);
+bool loadStudyCsv(const std::string &path, StudyResult &out);
+
+} // namespace odbsim::core
+
+#endif // ODBSIM_CORE_STUDY_IO_HH

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Per-CPU architectural event counters (instructions, cycles, branch
+ * mispredictions), split by privilege mode. Together with the memory
+ * counters in mem::CpuCacheHierarchy these back the EMON events of the
+ * paper's Table 2.
+ */
+
+#ifndef ODBSIM_CPU_COUNTERS_HH
+#define ODBSIM_CPU_COUNTERS_HH
+
+#include <cstdint>
+
+#include "mem/access.hh"
+
+namespace odbsim::cpu
+{
+
+/** Event totals for one privilege mode on one CPU. */
+struct ModeCpuCounters
+{
+    double instructions = 0.0;
+    double cycles = 0.0;
+    double branchMispredicts = 0.0;
+    double tlbMisses = 0.0;
+    /** Cycles charged outside the Table 3 events ("Other"). */
+    double otherCycles = 0.0;
+
+    void reset() { *this = ModeCpuCounters{}; }
+
+    ModeCpuCounters &
+    operator+=(const ModeCpuCounters &o)
+    {
+        instructions += o.instructions;
+        cycles += o.cycles;
+        branchMispredicts += o.branchMispredicts;
+        tlbMisses += o.tlbMisses;
+        otherCycles += o.otherCycles;
+        return *this;
+    }
+
+    double
+    cpi() const
+    {
+        return instructions > 0.0 ? cycles / instructions : 0.0;
+    }
+};
+
+/** Both modes' counters for one CPU. */
+struct CpuCounters
+{
+    ModeCpuCounters mode[2];
+
+    ModeCpuCounters &
+    operator[](mem::ExecMode m)
+    {
+        return mode[static_cast<unsigned>(m)];
+    }
+
+    const ModeCpuCounters &
+    operator[](mem::ExecMode m) const
+    {
+        return mode[static_cast<unsigned>(m)];
+    }
+
+    ModeCpuCounters
+    total() const
+    {
+        ModeCpuCounters t = mode[0];
+        t += mode[1];
+        return t;
+    }
+
+    void
+    reset()
+    {
+        mode[0].reset();
+        mode[1].reset();
+    }
+};
+
+} // namespace odbsim::cpu
+
+#endif // ODBSIM_CPU_COUNTERS_HH

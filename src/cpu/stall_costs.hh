@@ -1,0 +1,47 @@
+/**
+ * @file
+ * The fixed per-event stall-cycle model of the paper's Table 3.
+ *
+ * | Event                        | Cycles          |
+ * |------------------------------|-----------------|
+ * | Instruction                  | 0.5             |
+ * | Branch misprediction         | 20              |
+ * | TLB miss                     | 20              |
+ * | TC miss                      | 20              |
+ * | L2 miss (hitting L3)         | 16  (measured)  |
+ * | L3 miss                      | 300 (measured)  |
+ * | Bus-transaction time for 1P  | 102 (measured)  |
+ *
+ * The L3 miss charge follows the paper's Table 4 formula:
+ * 300 + (bus-transaction time - bus-transaction time at 1P), i.e. the
+ * 300-cycle memory latency already contains the unloaded 102-cycle IOQ
+ * residency and only the *queueing* excess is added on top.
+ */
+
+#ifndef ODBSIM_CPU_STALL_COSTS_HH
+#define ODBSIM_CPU_STALL_COSTS_HH
+
+namespace odbsim::cpu
+{
+
+/** Per-event stall cycles (paper Table 3). */
+struct StallCosts
+{
+    double baseCyclesPerInstr = 0.5;
+    double branchMispredictCycles = 20.0;
+    double tlbMissCycles = 20.0;
+    double tcMissCycles = 20.0;
+    /** An access that misses L2 and hits L3. */
+    double l2MissCycles = 16.0;
+    /** An access that misses L3, at unloaded (1P) bus latency. */
+    double l3MissCycles = 300.0;
+    /** Unloaded IOQ residency baked into l3MissCycles. */
+    double busBaseCycles = 102.0;
+    /** Latency of a data access served by the L2 (not in Table 3;
+     *  contributes to the paper's "Other" residual). */
+    double l2HitCycles = 7.0;
+};
+
+} // namespace odbsim::cpu
+
+#endif // ODBSIM_CPU_STALL_COSTS_HH

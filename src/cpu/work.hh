@@ -1,0 +1,97 @@
+/**
+ * @file
+ * WorkItem: the unit of computation a simulated process hands to a CPU
+ * core. A work item bundles an instruction count with the memory
+ * footprint executing those instructions touches:
+ *
+ *  - *exact references*: specific structures (buffer-cache rows, index
+ *    nodes, metadata, undo/log buffers) whose sampled cache lines are
+ *    each fed through the hierarchy once — true set sampling with
+ *    per-line reuse preserved;
+ *  - *region streams*: statistically generated post-L1 traffic into
+ *    the code region, the process-private region (stack/PGA/session
+ *    state), the shared pool, and the current block frame, at
+ *    configured references-per-instruction rates.
+ */
+
+#ifndef ODBSIM_CPU_WORK_HH
+#define ODBSIM_CPU_WORK_HH
+
+#include <cstdint>
+
+#include "mem/access.hh"
+#include "sim/types.hh"
+
+namespace odbsim::cpu
+{
+
+/** One explicitly-touched data structure within a work item. */
+struct DataRef
+{
+    Addr addr = 0;            ///< Base address of the touched bytes.
+    std::uint32_t bytes = 64; ///< Extent touched.
+    bool write = false;       ///< Whether references dirty lines.
+};
+
+/** Maximum explicit data references a single work item may carry. */
+constexpr unsigned maxWorkDataRefs = 12;
+
+/**
+ * A batch of instructions plus its memory footprint.
+ */
+struct WorkItem
+{
+    std::uint64_t instructions = 0;
+    mem::ExecMode mode = mem::ExecMode::User;
+
+    /** Code region the instructions fetch from. */
+    Addr codeBase = 0;
+    std::uint64_t codeBytes = 64;
+
+    /** Process-private hot region (stack + PGA); 0 disables. */
+    Addr privateBase = 0;
+    std::uint64_t privateBytes = 0;
+
+    /** Shared pool / dictionary region; 0 disables. */
+    Addr sharedBase = 0;
+    std::uint64_t sharedBytes = 0;
+
+    /** Current buffer-cache frame for intra-block traffic; 0 none. */
+    Addr frameAddr = 0;
+    std::uint32_t frameBytes = 0;
+
+    /** Relative weights of the data region streams. @{ */
+    float privateWeight = 1.0f;
+    float sharedWeight = 0.0f;
+    float frameWeight = 0.0f;
+    /** @} */
+
+    /**
+     * Multiplier on the configured data-references-per-instruction
+     * rate: block operations are memory-intensive (> 1), pure SQL
+     * machinery less so (< 1).
+     */
+    float dataRateScale = 1.0f;
+
+    /**
+     * Extra stall cycles not explained by the Table 3/4 events
+     * (latch spins, pipeline flushes); lands in the "Other" CPI
+     * component.
+     */
+    double extraCycles = 0.0;
+
+    DataRef refs[maxWorkDataRefs];
+    unsigned numRefs = 0;
+
+    /** Append an explicit data reference (drops silently when full). */
+    void
+    addRef(Addr addr, std::uint32_t bytes, bool write)
+    {
+        if (numRefs < maxWorkDataRefs)
+            refs[numRefs++] = DataRef{addr, bytes, write};
+    }
+};
+
+} // namespace odbsim::cpu
+
+#endif // ODBSIM_CPU_WORK_HH

@@ -1,0 +1,136 @@
+#include "db/buffer_cache.hh"
+
+#include "sim/logging.hh"
+
+namespace odbsim::db
+{
+
+BufferCache::BufferCache(std::uint64_t frames)
+{
+    odbsim_assert(frames >= 8, "buffer cache needs at least 8 frames");
+    frames_.resize(frames + 1);
+    sentinel_ = static_cast<std::uint32_t>(frames);
+    frames_[sentinel_].prev = sentinel_;
+    frames_[sentinel_].next = sentinel_;
+    map_.reserve(frames);
+}
+
+void
+BufferCache::unlink(std::uint32_t f)
+{
+    Frame &fr = frames_[f];
+    frames_[fr.prev].next = fr.next;
+    frames_[fr.next].prev = fr.prev;
+}
+
+void
+BufferCache::pushFront(std::uint32_t f)
+{
+    Frame &fr = frames_[f];
+    fr.next = frames_[sentinel_].next;
+    fr.prev = sentinel_;
+    frames_[fr.next].prev = f;
+    frames_[sentinel_].next = f;
+}
+
+BufferLookup
+BufferCache::lookup(BlockId b)
+{
+    ++gets_;
+    auto it = map_.find(b);
+    if (it == map_.end()) {
+        ++misses_;
+        return BufferLookup{false, 0};
+    }
+    const std::uint32_t f = it->second;
+    unlink(f);
+    pushFront(f);
+    return BufferLookup{true, f};
+}
+
+BufferVictim
+BufferCache::allocate(BlockId b)
+{
+    odbsim_assert(map_.find(b) == map_.end(),
+                  "allocate for already-resident block ", b);
+    BufferVictim out;
+
+    std::uint32_t f;
+    if (nextFree_ < sentinel_) {
+        f = static_cast<std::uint32_t>(nextFree_++);
+    } else {
+        // Evict from the LRU tail, skipping frames with in-flight DMA.
+        f = frames_[sentinel_].prev;
+        std::uint64_t walked = 0;
+        while (f != sentinel_ && frames_[f].ioPending) {
+            f = frames_[f].prev;
+            ++walked;
+        }
+        odbsim_assert(f != sentinel_,
+                      "all ", sentinel_, " frames are I/O pending");
+        (void)walked;
+        Frame &victim = frames_[f];
+        out.hadBlock = true;
+        out.evictedBlock = victim.block;
+        out.wasDirty = victim.dirty;
+        if (victim.dirty)
+            ++dirtyEvictions_;
+        map_.erase(victim.block);
+        unlink(f);
+    }
+
+    Frame &fr = frames_[f];
+    fr.block = b;
+    fr.dirty = false;
+    fr.ioPending = true;
+    map_.emplace(b, f);
+    pushFront(f);
+    out.frame = f;
+    return out;
+}
+
+void
+BufferCache::fillComplete(std::uint64_t frame)
+{
+    frames_[frame].ioPending = false;
+}
+
+void
+BufferCache::markDirty(std::uint64_t frame)
+{
+    frames_[frame].dirty = true;
+}
+
+void
+BufferCache::prefill(BlockId b, bool dirty)
+{
+    if (map_.find(b) != map_.end())
+        return;
+    if (nextFree_ >= sentinel_)
+        return;
+    const std::uint32_t f = static_cast<std::uint32_t>(nextFree_++);
+    Frame &fr = frames_[f];
+    fr.block = b;
+    fr.dirty = dirty;
+    fr.ioPending = false;
+    map_.emplace(b, f);
+    pushFront(f);
+}
+
+void
+BufferCache::markClean(BlockId b)
+{
+    auto it = map_.find(b);
+    if (it != map_.end())
+        frames_[it->second].dirty = false;
+}
+
+void
+BufferCache::resetStats()
+{
+    gets_ = 0;
+    misses_ = 0;
+    dirtyEvictions_ = 0;
+}
+
+} // namespace odbsim::db

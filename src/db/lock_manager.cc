@@ -1,0 +1,51 @@
+#include "db/lock_manager.hh"
+
+#include "sim/logging.hh"
+
+namespace odbsim::db
+{
+
+bool
+LockManager::acquire(os::Process *p, LockKey key)
+{
+    acquires_.inc();
+    Resource &res = table_[key];
+    if (res.holder == nullptr) {
+        res.holder = p;
+        return true;
+    }
+    if (res.holder == p)
+        return true; // Re-entrant acquisition within the transaction.
+    conflicts_.inc();
+    res.waiters.push_back(p);
+    return false;
+}
+
+void
+LockManager::release(os::Process *p, LockKey key, os::System &sys)
+{
+    auto it = table_.find(key);
+    odbsim_assert(it != table_.end(), "releasing unknown lock ", key);
+    Resource &res = it->second;
+    odbsim_assert(res.holder == p, "releasing foreign lock ", key);
+    if (res.waiters.empty()) {
+        table_.erase(it);
+        return;
+    }
+    // Hand the lock to the oldest waiter and wake it; the wake pays a
+    // short kernel path (semaphore post + reschedule).
+    res.holder = res.waiters.front();
+    res.waiters.pop_front();
+    sys.wakeProcess(res.holder, 2500);
+}
+
+void
+LockManager::releaseAll(os::Process *p, std::vector<LockKey> &held,
+                        os::System &sys)
+{
+    for (const LockKey key : held)
+        release(p, key, sys);
+    held.clear();
+}
+
+} // namespace odbsim::db

@@ -1,0 +1,172 @@
+/**
+ * @file
+ * Action traces: the bridge between functional planning and timed
+ * replay (DESIGN.md, "plan-then-replay").
+ *
+ * A transaction planner executes the transaction's logic against the
+ * schema functionally and records an ActionTrace; the server process
+ * then replays the trace under the discrete-event clock, where buffer
+ * cache lookups, lock acquisition, disk reads and the commit's log
+ * flush happen with real timing and real blocking.
+ */
+
+#ifndef ODBSIM_DB_TRACE_HH
+#define ODBSIM_DB_TRACE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "db/types.hh"
+
+namespace odbsim::db
+{
+
+/** What a replayed step does. */
+enum class ActionKind : std::uint8_t
+{
+    /** Acquire the exclusive row lock `target` (may block). */
+    Lock,
+    /** Release the row lock `target` before commit (early release,
+     *  used for short block-contention critical sections). */
+    Unlock,
+    /** Access `block`: buffer-cache get + row/index work. */
+    Touch,
+    /** Pure computation (SQL execution machinery). */
+    Compute,
+    /** Commit: redo copy + group-commit flush + lock release. */
+    Commit,
+};
+
+/** How a Touch accesses its block (sets the instruction cost). */
+enum class TouchKind : std::uint8_t
+{
+    HeapRead,
+    HeapModify,
+    IndexNode,
+};
+
+/** One replayable step. */
+struct Action
+{
+    ActionKind kind = ActionKind::Compute;
+    TouchKind touch = TouchKind::HeapRead;
+    /**
+     * Touch only: the block need not be read from disk on a buffer
+     * miss (freshly formatted extent blocks: undo, new appends).
+     */
+    bool fresh = false;
+    /** Data extent touched within the block. */
+    std::uint16_t bytes = 0;
+    /** Byte offset of the touched extent within the block. */
+    std::uint16_t offset = 0;
+    /** User instructions beyond the standard per-kind path. */
+    std::uint32_t instr = 0;
+    /** Block id (Touch) or lock key (Lock). */
+    std::uint64_t target = 0;
+
+    static Action
+    lock(LockKey key)
+    {
+        Action a;
+        a.kind = ActionKind::Lock;
+        a.target = key;
+        return a;
+    }
+
+    static Action
+    unlock(LockKey key)
+    {
+        Action a;
+        a.kind = ActionKind::Unlock;
+        a.target = key;
+        return a;
+    }
+
+    static Action
+    touchHeap(BlockId b, std::uint16_t offset, std::uint16_t bytes,
+              bool modify)
+    {
+        Action a;
+        a.kind = ActionKind::Touch;
+        a.touch = modify ? TouchKind::HeapModify : TouchKind::HeapRead;
+        a.target = b;
+        a.offset = offset;
+        a.bytes = bytes;
+        return a;
+    }
+
+    static Action
+    touchFresh(BlockId b, std::uint16_t offset, std::uint16_t bytes)
+    {
+        Action a = touchHeap(b, offset, bytes, true);
+        a.fresh = true;
+        return a;
+    }
+
+    static Action
+    touchIndex(BlockId b, std::uint16_t offset)
+    {
+        Action a;
+        a.kind = ActionKind::Touch;
+        a.touch = TouchKind::IndexNode;
+        a.target = b;
+        a.offset = offset;
+        a.bytes = 256;
+        return a;
+    }
+
+    static Action
+    compute(std::uint32_t instr)
+    {
+        Action a;
+        a.kind = ActionKind::Compute;
+        a.instr = instr;
+        return a;
+    }
+
+    static Action
+    commit()
+    {
+        Action a;
+        a.kind = ActionKind::Commit;
+        return a;
+    }
+};
+
+/** The five ODB transaction types (TPC-C-like mix). */
+enum class TxnType : std::uint8_t
+{
+    NewOrder,
+    Payment,
+    OrderStatus,
+    Delivery,
+    StockLevel,
+    NumTypes,
+};
+
+constexpr unsigned numTxnTypes = static_cast<unsigned>(TxnType::NumTypes);
+
+constexpr const char *
+toString(TxnType t)
+{
+    switch (t) {
+      case TxnType::NewOrder: return "new_order";
+      case TxnType::Payment: return "payment";
+      case TxnType::OrderStatus: return "order_status";
+      case TxnType::Delivery: return "delivery";
+      case TxnType::StockLevel: return "stock_level";
+      default: return "?";
+    }
+}
+
+/** A planned transaction, ready for timed replay. */
+struct ActionTrace
+{
+    TxnType type = TxnType::NewOrder;
+    std::uint32_t logBytes = 0;
+    std::vector<Action> actions;
+};
+
+} // namespace odbsim::db
+
+#endif // ODBSIM_DB_TRACE_HH

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Common memory-access vocabulary shared by the cache, CPU and
+ * performance-counter models.
+ */
+
+#ifndef ODBSIM_MEM_ACCESS_HH
+#define ODBSIM_MEM_ACCESS_HH
+
+#include <cstdint>
+
+#include "sim/types.hh"
+
+namespace odbsim::mem
+{
+
+/** What kind of reference an access is. */
+enum class AccessKind : std::uint8_t
+{
+    CodeFetch,
+    DataRead,
+    DataWrite,
+};
+
+/** Privilege mode the access executes in (EMON ring split). */
+enum class ExecMode : std::uint8_t
+{
+    User,
+    Os,
+};
+
+constexpr const char *
+toString(ExecMode m)
+{
+    return m == ExecMode::User ? "user" : "os";
+}
+
+/**
+ * Deepest level of the hierarchy that serviced a post-L1 access. The
+ * simulated stream is the L2 reference stream (L1/trace-cache hits
+ * never reach it — their flat contribution is modeled statistically,
+ * matching the paper's fixed-cost methodology).
+ */
+enum class ServicedBy : std::uint8_t
+{
+    L2,
+    L3,
+    Memory,      ///< L3 miss serviced by DRAM over the bus.
+    RemoteCache, ///< L3 miss serviced by a dirty line in another CPU.
+};
+
+/** Outcome of a single simulated reference. */
+struct AccessResult
+{
+    ServicedBy servicedBy = ServicedBy::L2;
+
+    bool l3Miss() const
+    {
+        return servicedBy == ServicedBy::Memory ||
+               servicedBy == ServicedBy::RemoteCache;
+    }
+};
+
+} // namespace odbsim::mem
+
+#endif // ODBSIM_MEM_ACCESS_HH

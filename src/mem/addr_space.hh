@@ -1,0 +1,85 @@
+/**
+ * @file
+ * The simulated virtual address map.
+ *
+ * The database server processes of the modeled Oracle-style system all
+ * map the same shared regions (code, SGA) at the same addresses, plus a
+ * private per-process region (PGA, stack). The kernel has its own code
+ * and data regions. These addresses feed the cache models; no data is
+ * stored behind them.
+ */
+
+#ifndef ODBSIM_MEM_ADDR_SPACE_HH
+#define ODBSIM_MEM_ADDR_SPACE_HH
+
+#include "sim/types.hh"
+
+namespace odbsim::mem
+{
+
+/** Layout constants for the simulated address space. */
+namespace addrmap
+{
+
+/** Kernel text (hot footprint). */
+constexpr Addr kernelCodeBase = 0x0100'0000;
+constexpr std::uint64_t kernelCodeBytes = 256 * KiB;
+
+/** Kernel data structures (run queues, buffer heads, drivers). */
+constexpr Addr kernelDataBase = 0x0200'0000;
+constexpr std::uint64_t kernelDataBytes = 512 * KiB;
+
+/** Database server text (hot footprint of the RDBMS binary). */
+constexpr Addr dbCodeBase = 0x1000'0000;
+constexpr std::uint64_t dbCodeBytes = 1536 * KiB;
+
+/** Shared pool: dictionary cache, SQL area, session structures. */
+constexpr Addr dbSharedBase = 0x1800'0000;
+constexpr std::uint64_t dbSharedBytes = 2 * MiB;
+
+/** SGA metadata: buffer-cache hash buckets and block descriptors. */
+constexpr Addr sgaMetaBase = 0x2000'0000;
+constexpr std::uint64_t sgaMetaBytesPerFrame = 64;
+
+/** Redo log buffer (ring). */
+constexpr Addr logBufferBase = 0x3000'0000;
+constexpr std::uint64_t logBufferBytes = 1 * MiB;
+
+/** Lock manager resource table. */
+constexpr Addr lockTableBase = 0x3800'0000;
+constexpr std::uint64_t lockTableBytes = 2 * MiB;
+
+/** Database buffer cache frames (the bulk of the SGA). */
+constexpr Addr sgaFrameBase = 0x4000'0000;
+
+/** Per-process private region (PGA + stack). */
+constexpr Addr pgaBase = 0x4'0000'0000;
+constexpr std::uint64_t pgaStride = 256 * KiB;
+constexpr std::uint64_t pgaHotBytes = 64 * KiB;
+
+/** Address of buffer-cache frame @p frame (8 KB frames). */
+constexpr Addr
+frameAddr(std::uint64_t frame, std::uint64_t frame_bytes)
+{
+    return sgaFrameBase + frame * frame_bytes;
+}
+
+/** Address of the metadata descriptor for frame @p frame. */
+constexpr Addr
+frameMetaAddr(std::uint64_t frame)
+{
+    return sgaMetaBase + frame * sgaMetaBytesPerFrame;
+}
+
+/** Base of process @p pid's private region. */
+constexpr Addr
+processPrivateBase(std::uint64_t pid)
+{
+    return pgaBase + pid * pgaStride;
+}
+
+} // namespace addrmap
+
+} // namespace odbsim::mem
+
+#endif // ODBSIM_MEM_ADDR_SPACE_HH

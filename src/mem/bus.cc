@@ -1,0 +1,67 @@
+#include "mem/bus.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace odbsim::mem
+{
+
+FrontSideBus::FrontSideBus(const BusConfig &cfg)
+    : cfg_(cfg)
+{
+    odbsim_assert(cfg.windowTicks > 0, "bus window must be positive");
+}
+
+void
+FrontSideBus::maybeUpdate(Tick now)
+{
+    if (now < windowStart_ + cfg_.windowTicks)
+        return;
+    const Tick elapsed = now - windowStart_;
+    const double window_cycles =
+        secondsFromTicks(elapsed) * cfg_.cpuFreqHz;
+    recompute(window_cycles);
+    windowStart_ = now;
+    windowLineTxns_ = 0.0;
+    windowDmaKb_ = 0.0;
+}
+
+void
+FrontSideBus::recompute(double window_cycles)
+{
+    if (window_cycles <= 0.0)
+        return;
+
+    const double busy_cycles =
+        windowLineTxns_ * cfg_.lineOccupancyCycles +
+        windowDmaKb_ * cfg_.dmaOccupancyCyclesPerKb;
+    double raw_util = busy_cycles / window_cycles;
+    raw_util = std::min(raw_util, cfg_.maxUtilization);
+
+    util_ = cfg_.ewmaAlpha * raw_util + (1.0 - cfg_.ewmaAlpha) * util_;
+
+    // Effective mean service time weighted by transaction mix. Treat a
+    // DMA KB as 16 line-sized transactions for the queueing term.
+    const double total_txns =
+        windowLineTxns_ + windowDmaKb_ * 16.0;
+    double mean_service = cfg_.lineOccupancyCycles;
+    if (total_txns > 0.0)
+        mean_service = busy_cycles / total_txns;
+
+    const double rho = std::min(util_, cfg_.maxUtilization);
+    wait_ = rho * mean_service * (1.0 + cfg_.serviceCv2) /
+            (2.0 * (1.0 - rho));
+
+    utilStat_.add(util_);
+    ioqStat_.add(ioqCycles());
+}
+
+void
+FrontSideBus::resetStats()
+{
+    utilStat_.reset();
+    ioqStat_.reset();
+}
+
+} // namespace odbsim::mem

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Analytic model of the shared front-side bus and its in-order queue
+ * (IOQ), reproducing the paper's Figure 16 measurements.
+ *
+ * Every L3 miss becomes a cache-line bus transaction and every disk
+ * transfer becomes DMA traffic on the same bus. The model recomputes
+ * bus utilization over fixed time windows from the offered load and
+ * derives the mean IOQ residency with an M/G/1 queueing approximation:
+ *
+ *     wait = rho * S * (1 + cv^2) / (2 * (1 - rho))
+ *
+ * where S is the mean bus occupancy of a transaction and cv its
+ * coefficient of variation. The measured "bus-transaction time" the
+ * paper reports (102 cycles at 1P, growing with utilization at 4P) is
+ * base latency + wait.
+ */
+
+#ifndef ODBSIM_MEM_BUS_HH
+#define ODBSIM_MEM_BUS_HH
+
+#include <cstdint>
+
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace odbsim::mem
+{
+
+/** Static parameters of the front-side bus model. */
+struct BusConfig
+{
+    /** CPU clock, used to convert ticks to cycles. */
+    double cpuFreqHz = 1.6e9;
+    /**
+     * Zero-load IOQ residency of a transaction, in CPU cycles
+     * (the paper measures 102 on the 1P Xeon MP).
+     */
+    double baseTransactionCycles = 102.0;
+    /** Bus occupancy of one 64 B line transfer, in CPU cycles. */
+    double lineOccupancyCycles = 40.0;
+    /** Bus occupancy of one KB of DMA traffic, in CPU cycles. */
+    double dmaOccupancyCyclesPerKb = 160.0;
+    /** Squared coefficient of variation of service times. */
+    double serviceCv2 = 1.5;
+    /** Load-recomputation window, in ticks. */
+    Tick windowTicks = 100 * tickPerUs;
+    /** EWMA smoothing weight given to the newest window. */
+    double ewmaAlpha = 0.5;
+    /** Utilization is clamped below this to keep the queue stable. */
+    double maxUtilization = 0.97;
+};
+
+/**
+ * The shared front-side bus / IOQ model.
+ */
+class FrontSideBus
+{
+  public:
+    explicit FrontSideBus(const BusConfig &cfg);
+
+    /** Record @p n cache-line transactions (L3 misses/writebacks). */
+    void
+    addLineTransfers(double n)
+    {
+        windowLineTxns_ += n;
+    }
+
+    /** Record @p bytes of DMA traffic from the I/O subsystem. */
+    void
+    addDmaBytes(double bytes)
+    {
+        windowDmaKb_ += bytes / 1024.0;
+    }
+
+    /**
+     * Advance the model clock; recomputes utilization and IOQ wait
+     * whenever a full window has elapsed.
+     */
+    void maybeUpdate(Tick now);
+
+    /** Current smoothed bus utilization in [0, 1). */
+    double utilization() const { return util_; }
+
+    /** Current mean IOQ residency of a transaction, in CPU cycles. */
+    double ioqCycles() const { return cfg_.baseTransactionCycles + wait_; }
+
+    /** Current mean queueing delay (IOQ residency above base). */
+    double queueWaitCycles() const { return wait_; }
+
+    /** Time-weighted statistics over the measurement period. @{ */
+    const RunningStat &utilizationStat() const { return utilStat_; }
+    const RunningStat &ioqStat() const { return ioqStat_; }
+    /** @} */
+
+    void resetStats();
+
+    const BusConfig &config() const { return cfg_; }
+
+  private:
+    void recompute(double window_cycles);
+
+    BusConfig cfg_;
+    Tick windowStart_ = 0;
+    double windowLineTxns_ = 0.0;
+    double windowDmaKb_ = 0.0;
+
+    double util_ = 0.0;
+    double wait_ = 0.0;
+
+    RunningStat utilStat_;
+    RunningStat ioqStat_;
+};
+
+} // namespace odbsim::mem
+
+#endif // ODBSIM_MEM_BUS_HH

@@ -1,0 +1,148 @@
+#include "mem/cache.hh"
+
+#include "sim/logging.hh"
+
+namespace odbsim::mem
+{
+
+SetAssocCache::SetAssocCache(std::string name, const CacheGeometry &geom)
+    : name_(std::move(name)), geom_(geom)
+{
+    odbsim_assert(geom.sizeBytes > 0 && geom.assoc > 0 &&
+                      geom.lineBytes > 0,
+                  "bad cache geometry for ", name_);
+    odbsim_assert(geom.sizeBytes % (geom.assoc * geom.lineBytes) == 0,
+                  "cache size must be a multiple of assoc * line for ",
+                  name_);
+    numSets_ = geom.numSets();
+    odbsim_assert((numSets_ & (numSets_ - 1)) == 0,
+                  "number of sets must be a power of two for ", name_);
+    lines_.resize(numSets_ * geom.assoc);
+}
+
+std::uint64_t
+SetAssocCache::setIndex(Addr addr) const
+{
+    return (addr / geom_.lineBytes) & (numSets_ - 1);
+}
+
+Addr
+SetAssocCache::tagOf(Addr addr) const
+{
+    return (addr / geom_.lineBytes) / numSets_;
+}
+
+Addr
+SetAssocCache::lineAddr(Addr tag, std::uint64_t set) const
+{
+    return (tag * numSets_ + set) * geom_.lineBytes;
+}
+
+CacheAccessResult
+SetAssocCache::access(Addr addr, bool is_write)
+{
+    ++accesses_;
+    ++useClock_;
+
+    const std::uint64_t set = setIndex(addr);
+    const Addr tag = tagOf(addr);
+    Line *base = &lines_[set * geom_.assoc];
+
+    Line *victim = base;
+    for (std::uint32_t w = 0; w < geom_.assoc; ++w) {
+        Line &line = base[w];
+        if (line.valid && line.tag == tag) {
+            line.lastUse = useClock_;
+            line.dirty |= is_write;
+            return CacheAccessResult{true, false, false, 0};
+        }
+        if (!line.valid) {
+            victim = &line;
+        } else if (victim->valid && line.lastUse < victim->lastUse) {
+            victim = &line;
+        }
+    }
+
+    ++misses_;
+    CacheAccessResult res;
+    res.hit = false;
+    if (victim->valid) {
+        res.evicted = true;
+        res.evictedDirty = victim->dirty;
+        res.evictedLineAddr = lineAddr(victim->tag, set);
+        if (victim->dirty)
+            ++writebacks_;
+    } else {
+        ++valid_;
+    }
+    victim->valid = true;
+    victim->tag = tag;
+    victim->dirty = is_write;
+    victim->lastUse = useClock_;
+    return res;
+}
+
+bool
+SetAssocCache::probe(Addr addr) const
+{
+    const std::uint64_t set = setIndex(addr);
+    const Addr tag = tagOf(addr);
+    const Line *base = &lines_[set * geom_.assoc];
+    for (std::uint32_t w = 0; w < geom_.assoc; ++w) {
+        if (base[w].valid && base[w].tag == tag)
+            return true;
+    }
+    return false;
+}
+
+bool
+SetAssocCache::probeDirty(Addr addr) const
+{
+    const std::uint64_t set = setIndex(addr);
+    const Addr tag = tagOf(addr);
+    const Line *base = &lines_[set * geom_.assoc];
+    for (std::uint32_t w = 0; w < geom_.assoc; ++w) {
+        if (base[w].valid && base[w].tag == tag)
+            return base[w].dirty;
+    }
+    return false;
+}
+
+bool
+SetAssocCache::invalidate(Addr addr)
+{
+    const std::uint64_t set = setIndex(addr);
+    const Addr tag = tagOf(addr);
+    Line *base = &lines_[set * geom_.assoc];
+    for (std::uint32_t w = 0; w < geom_.assoc; ++w) {
+        Line &line = base[w];
+        if (line.valid && line.tag == tag) {
+            const bool was_dirty = line.dirty;
+            line.valid = false;
+            line.dirty = false;
+            --valid_;
+            return was_dirty;
+        }
+    }
+    return false;
+}
+
+void
+SetAssocCache::flush()
+{
+    for (auto &line : lines_) {
+        line.valid = false;
+        line.dirty = false;
+    }
+    valid_ = 0;
+}
+
+void
+SetAssocCache::resetStats()
+{
+    accesses_ = 0;
+    misses_ = 0;
+    writebacks_ = 0;
+}
+
+} // namespace odbsim::mem

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * A set-associative cache model with true-LRU replacement and dirty-line
+ * tracking, used for every level of the simulated hierarchy (trace
+ * cache, L1D, L2, L3).
+ *
+ * The model is a tag store only — no data is held — because odbsim
+ * needs hit/miss/writeback behaviour, not values.
+ */
+
+#ifndef ODBSIM_MEM_CACHE_HH
+#define ODBSIM_MEM_CACHE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace odbsim::mem
+{
+
+/** Static shape of a cache. */
+struct CacheGeometry
+{
+    std::uint64_t sizeBytes = 0;
+    std::uint32_t assoc = 0;
+    std::uint32_t lineBytes = 64;
+
+    std::uint64_t numLines() const { return sizeBytes / lineBytes; }
+    std::uint64_t numSets() const { return numLines() / assoc; }
+};
+
+/** Result of a cache access. */
+struct CacheAccessResult
+{
+    bool hit = false;
+    /** A valid line was evicted to make room. */
+    bool evicted = false;
+    /** The evicted line was dirty (writeback needed). */
+    bool evictedDirty = false;
+    /** Line address (not tag) of the evicted victim, if any. */
+    Addr evictedLineAddr = 0;
+};
+
+/**
+ * Tag-store set-associative cache with true LRU.
+ */
+class SetAssocCache
+{
+  public:
+    SetAssocCache(std::string name, const CacheGeometry &geom);
+
+    const std::string &name() const { return name_; }
+    const CacheGeometry &geometry() const { return geom_; }
+
+    /**
+     * Access the cache, allocating on miss.
+     *
+     * @param addr Byte address of the reference.
+     * @param is_write Marks the line dirty on hit or fill.
+     */
+    CacheAccessResult access(Addr addr, bool is_write);
+
+    /** Check for presence without updating LRU or allocating. */
+    bool probe(Addr addr) const;
+
+    /** Probe and report whether the resident line is dirty. */
+    bool probeDirty(Addr addr) const;
+
+    /**
+     * Invalidate a line if present.
+     * @return true if the line was present and dirty.
+     */
+    bool invalidate(Addr addr);
+
+    /** Drop every line (e.g. between measurement runs). */
+    void flush();
+
+    /** Number of currently valid lines. */
+    std::uint64_t validLines() const { return valid_; }
+
+    /** @name Raw statistics @{ */
+    std::uint64_t accesses() const { return accesses_; }
+    std::uint64_t misses() const { return misses_; }
+    std::uint64_t writebacks() const { return writebacks_; }
+    double
+    missRatio() const
+    {
+        return accesses_ ? static_cast<double>(misses_) /
+                               static_cast<double>(accesses_)
+                         : 0.0;
+    }
+    void resetStats();
+    /** @} */
+
+  private:
+    struct Line
+    {
+        Addr tag = 0;
+        std::uint64_t lastUse = 0;
+        bool valid = false;
+        bool dirty = false;
+    };
+
+    std::uint64_t setIndex(Addr addr) const;
+    Addr tagOf(Addr addr) const;
+    Addr lineAddr(Addr tag, std::uint64_t set) const;
+
+    std::string name_;
+    CacheGeometry geom_;
+    std::uint64_t numSets_;
+    std::vector<Line> lines_;
+    std::uint64_t useClock_ = 0;
+    std::uint64_t valid_ = 0;
+
+    std::uint64_t accesses_ = 0;
+    std::uint64_t misses_ = 0;
+    std::uint64_t writebacks_ = 0;
+};
+
+} // namespace odbsim::mem
+
+#endif // ODBSIM_MEM_CACHE_HH

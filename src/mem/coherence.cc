@@ -1,0 +1,95 @@
+#include "mem/coherence.hh"
+
+#include <bit>
+
+#include "sim/logging.hh"
+
+namespace odbsim::mem
+{
+
+CoherenceDirectory::CoherenceDirectory(unsigned num_cpus)
+    : numCpus_(num_cpus)
+{
+    odbsim_assert(num_cpus >= 1 && num_cpus <= maxCoherentCpus,
+                  "unsupported CPU count ", num_cpus);
+}
+
+CoherenceOutcome
+CoherenceDirectory::onFill(unsigned cpu, Addr line_addr, bool is_write)
+{
+    CoherenceOutcome out;
+    Entry &e = lines_[line_addr];
+    const std::uint32_t self = 1u << cpu;
+
+    if (e.modifiedOwner >= 0 &&
+        static_cast<unsigned>(e.modifiedOwner) != cpu) {
+        out.remoteDirty = true;
+        out.remoteOwner = static_cast<unsigned>(e.modifiedOwner);
+        ++coherenceMisses_;
+    }
+
+    if (is_write) {
+        const std::uint32_t remote = e.sharers & ~self;
+        out.invalidateMask = remote;
+        invalidations_ += std::popcount(remote);
+        e.sharers = self;
+        e.modifiedOwner = static_cast<std::int8_t>(cpu);
+    } else {
+        // A remote dirty copy is downgraded to shared by the fill.
+        if (out.remoteDirty)
+            e.modifiedOwner = -1;
+        e.sharers |= self;
+    }
+    return out;
+}
+
+std::uint32_t
+CoherenceDirectory::onWriteHit(unsigned cpu, Addr line_addr)
+{
+    Entry &e = lines_[line_addr];
+    const std::uint32_t self = 1u << cpu;
+    const std::uint32_t remote = e.sharers & ~self;
+    invalidations_ += std::popcount(remote);
+    e.sharers = self;
+    e.modifiedOwner = static_cast<std::int8_t>(cpu);
+    return remote;
+}
+
+SnoopState
+CoherenceDirectory::snoop(Addr line_addr) const
+{
+    auto it = lines_.find(line_addr);
+    if (it == lines_.end())
+        return SnoopState{};
+    return SnoopState{true, it->second.sharers, it->second.modifiedOwner};
+}
+
+void
+CoherenceDirectory::onEviction(unsigned cpu, Addr line_addr)
+{
+    auto it = lines_.find(line_addr);
+    if (it == lines_.end())
+        return;
+    Entry &e = it->second;
+    e.sharers &= ~(1u << cpu);
+    if (e.modifiedOwner >= 0 &&
+        static_cast<unsigned>(e.modifiedOwner) == cpu) {
+        e.modifiedOwner = -1;
+    }
+    if (e.sharers == 0 && e.modifiedOwner < 0)
+        lines_.erase(it);
+}
+
+void
+CoherenceDirectory::onDmaFill(Addr line_addr)
+{
+    lines_.erase(line_addr);
+}
+
+void
+CoherenceDirectory::clear()
+{
+    lines_.clear();
+}
+
+} // namespace odbsim::mem

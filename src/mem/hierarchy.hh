@@ -1,0 +1,203 @@
+/**
+ * @file
+ * Per-CPU cache hierarchy (L2 + L3 tag stores) and the system-wide
+ * MemorySystem facade that adds bus and coherence behaviour.
+ *
+ * The simulated reference stream is *set-sampled*: the CPU model feeds
+ * only cache lines whose global line index is a multiple of the
+ * sampling factor S, and the tag stores are built at 1/S of their
+ * nominal capacity, so per-line reuse behaviour is preserved exactly
+ * while counters are scaled back up by S (see DESIGN.md). The L1
+ * levels (trace cache, L1D, TLB) contribute flat per-instruction
+ * costs in the paper's own methodology and are modeled statistically
+ * in the CPU core instead.
+ */
+
+#ifndef ODBSIM_MEM_HIERARCHY_HH
+#define ODBSIM_MEM_HIERARCHY_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "mem/access.hh"
+#include "mem/bus.hh"
+#include "mem/cache.hh"
+#include "mem/coherence.hh"
+#include "sim/types.hh"
+
+namespace odbsim::mem
+{
+
+/** Geometry of one CPU's caches (defaults: Xeon MP of the study). */
+struct HierarchyConfig
+{
+    /** Kept for reporting; the trace cache / L1D / TLB are modeled
+     *  statistically in the CPU core. @{ */
+    CacheGeometry traceCache{16 * KiB, 8, 64};
+    CacheGeometry l1d{8 * KiB, 4, 64};
+    std::uint32_t tlbEntries = 64;
+    std::uint32_t tlbAssoc = 4;
+    /** @} */
+    CacheGeometry l2{256 * KiB, 8, 64};
+    CacheGeometry l3{1 * MiB, 8, 64};
+    /**
+     * Chip-multiprocessor mode: one on-die L3 shared by every core
+     * instead of per-CPU L3s. L2 misses that hit the shared L3 stay
+     * on-die (no front-side-bus transaction), and a line written by
+     * one core is served to its siblings from the shared cache — the
+     * design point the paper's introduction motivates.
+     */
+    bool sharedL3 = false;
+};
+
+/**
+ * Weighted event counters for one privilege mode on one CPU.
+ * All fields estimate the unsampled machine (increments are scaled by
+ * the sampling factor).
+ */
+struct MemCounters
+{
+    std::uint64_t codeFetches = 0; ///< Code refs reaching L2 (TC misses).
+    std::uint64_t dataReads = 0;   ///< Data reads reaching L2.
+    std::uint64_t dataWrites = 0;  ///< Data writes reaching L2.
+    std::uint64_t l2Misses = 0;    ///< Misses in L2 (code + data).
+    std::uint64_t l3Misses = 0;    ///< Misses in L3.
+    std::uint64_t coherenceMisses = 0; ///< Subset of l3Misses (HITM).
+
+    void reset() { *this = MemCounters{}; }
+
+    MemCounters &operator+=(const MemCounters &o);
+
+    std::uint64_t
+    l2Accesses() const
+    {
+        return codeFetches + dataReads + dataWrites;
+    }
+};
+
+/**
+ * The private cache stack of one CPU (scaled tag stores).
+ */
+class CpuCacheHierarchy
+{
+  public:
+    CpuCacheHierarchy(unsigned cpu_id, const CacheGeometry &l2,
+                      const CacheGeometry &l3,
+                      std::uint32_t sample_factor);
+
+    /**
+     * Map a sampled line address (line index divisible by S) to the
+     * compacted address space the scaled tag stores index on; without
+     * this, sampled lines would collide into 1/S of the sets.
+     */
+    Addr
+    compress(Addr addr) const
+    {
+        const Addr line_bytes = l2_.geometry().lineBytes;
+        return addr / (line_bytes * sampleFactor_) * line_bytes;
+    }
+
+    unsigned cpuId() const { return cpuId_; }
+
+    const MemCounters &counters(ExecMode m) const
+    {
+        return counters_[static_cast<unsigned>(m)];
+    }
+
+    MemCounters &counters(ExecMode m)
+    {
+        return counters_[static_cast<unsigned>(m)];
+    }
+
+    MemCounters totalCounters() const;
+
+    void resetCounters();
+
+    /** Invalidate one line in both levels. */
+    void invalidateLine(Addr line_addr);
+
+    /** Drop all cached state. */
+    void flush();
+
+    const SetAssocCache &l2() const { return l2_; }
+    const SetAssocCache &l3() const { return l3_; }
+
+  private:
+    friend class MemorySystem;
+
+    unsigned cpuId_;
+    SetAssocCache l2_;
+    SetAssocCache l3_;
+    std::uint32_t sampleFactor_;
+    MemCounters counters_[2];
+};
+
+/**
+ * The full memory system: per-CPU hierarchies, the shared front-side
+ * bus and the coherence directory.
+ */
+class MemorySystem
+{
+  public:
+    /**
+     * @param sample_factor Set-sampling factor S: tag stores are
+     *        built at 1/S capacity and callers must feed only lines
+     *        whose index is a multiple of S, weighting counters by S.
+     */
+    MemorySystem(unsigned num_cpus, const HierarchyConfig &hier_cfg,
+                 const BusConfig &bus_cfg, std::uint32_t sample_factor);
+
+    unsigned numCpus() const { return static_cast<unsigned>(cpus_.size()); }
+    std::uint32_t sampleFactor() const { return sampleFactor_; }
+    bool sharedL3() const { return sharedL3_ != nullptr; }
+
+    CpuCacheHierarchy &cpu(unsigned i) { return *cpus_[i]; }
+    const CpuCacheHierarchy &cpu(unsigned i) const { return *cpus_[i]; }
+
+    FrontSideBus &bus() { return bus_; }
+    const FrontSideBus &bus() const { return bus_; }
+
+    CoherenceDirectory &directory() { return directory_; }
+    const CoherenceDirectory &directory() const { return directory_; }
+
+    /**
+     * Simulate one sampled post-L1 reference. @p addr must lie on a
+     * sampled line (line index divisible by the sample factor).
+     */
+    AccessResult access(unsigned cpu_id, Addr addr, AccessKind kind,
+                        ExecMode mode, Tick now);
+
+    /**
+     * A DMA engine filled @p bytes at @p base (disk read into memory):
+     * stale cached copies are invalidated and the transfer is charged
+     * to the bus.
+     */
+    void dmaFill(Addr base, std::uint64_t bytes, Tick now);
+
+    /** DMA read of memory (disk write from memory): bus traffic only. */
+    void dmaDrain(std::uint64_t bytes, Tick now);
+
+    /** Reset statistics on every component (cache state is kept). */
+    void resetStats();
+
+    /** Drop all cached state and statistics. */
+    void flushAll();
+
+  private:
+    static CacheGeometry scaleGeometry(const CacheGeometry &g,
+                                       std::uint32_t factor,
+                                       const char *name);
+
+    HierarchyConfig hierCfg_;
+    std::uint32_t sampleFactor_;
+    std::vector<std::unique_ptr<CpuCacheHierarchy>> cpus_;
+    /** The on-die shared L3 (CMP mode only). */
+    std::unique_ptr<SetAssocCache> sharedL3_;
+    FrontSideBus bus_;
+    CoherenceDirectory directory_;
+};
+
+} // namespace odbsim::mem
+
+#endif // ODBSIM_MEM_HIERARCHY_HH

@@ -1,0 +1,433 @@
+#include "odb/planner.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace odbsim::odb
+{
+
+using db::Action;
+using db::ActionTrace;
+using db::RowLoc;
+using db::Table;
+using db::TxnType;
+
+namespace
+{
+
+/**
+ * ODB-style two-tier key skew: a share of picks lands in a small hot
+ * prefix of the domain (recently active customers / popular items),
+ * the rest is NURand over the full domain. This is what keeps the
+ * buffer-cache hit ratio high on the paper's 2.8 GB cache even at
+ * hundreds of warehouses.
+ */
+std::uint32_t
+skewedKey(Rng &rng, std::uint32_t domain, std::uint32_t hot_span,
+          double hot_prob, std::int64_t nurand_a)
+{
+    if (hot_span < domain && rng.chance(hot_prob))
+        return static_cast<std::uint32_t>(rng.below(hot_span));
+    return static_cast<std::uint32_t>(
+        rng.nurand(nurand_a, 0, domain - 1));
+}
+
+std::uint32_t
+pickCustomer(Rng &rng, const db::SchemaConfig &cfg)
+{
+    return skewedKey(rng, cfg.customersPerDistrict,
+                     cfg.hotCustomersPerDistrict(), 0.80, 1023);
+}
+
+std::uint32_t
+pickItem(Rng &rng, const db::SchemaConfig &cfg)
+{
+    return skewedKey(rng, cfg.itemCount, cfg.hotItems(), 0.85, 8191);
+}
+
+} // namespace
+
+TxnPlanner::TxnPlanner(db::Database &database, const TxnMix &mix)
+    : db_(database), mix_(mix)
+{
+    const unsigned total = mix.newOrderPct + mix.paymentPct +
+                           mix.orderStatusPct + mix.deliveryPct +
+                           mix.stockLevelPct;
+    odbsim_assert(total == 100, "transaction mix must sum to 100, got ",
+                  total);
+}
+
+ActionTrace
+TxnPlanner::planRandom(Rng &rng, std::uint32_t home_w)
+{
+    const unsigned pick = static_cast<unsigned>(rng.below(100));
+    TxnType type;
+    if (pick < mix_.newOrderPct)
+        type = TxnType::NewOrder;
+    else if (pick < mix_.newOrderPct + mix_.paymentPct)
+        type = TxnType::Payment;
+    else if (pick < mix_.newOrderPct + mix_.paymentPct +
+                        mix_.orderStatusPct)
+        type = TxnType::OrderStatus;
+    else if (pick < mix_.newOrderPct + mix_.paymentPct +
+                        mix_.orderStatusPct + mix_.deliveryPct)
+        type = TxnType::Delivery;
+    else
+        type = TxnType::StockLevel;
+    return plan(type, rng, home_w);
+}
+
+ActionTrace
+TxnPlanner::plan(TxnType type, Rng &rng, std::uint32_t home_w)
+{
+    ActionTrace t;
+    t.type = type;
+    // Per-transaction fixed path: begin, client round trips, commit
+    // machinery.
+    t.actions.push_back(Action::compute(db_.costs().txnBaseInstr));
+    switch (type) {
+      case TxnType::NewOrder:
+        planNewOrder(t, rng, home_w);
+        break;
+      case TxnType::Payment:
+        planPayment(t, rng, home_w);
+        break;
+      case TxnType::OrderStatus:
+        planOrderStatus(t, rng, home_w);
+        break;
+      case TxnType::Delivery:
+        planDelivery(t, rng, home_w);
+        break;
+      case TxnType::StockLevel:
+        planStockLevel(t, rng, home_w);
+        break;
+      default:
+        odbsim_panic("unknown transaction type");
+    }
+    t.actions.push_back(Action::commit());
+    return t;
+}
+
+void
+TxnPlanner::emitIndexLookup(ActionTrace &t, const db::ImplicitBTree &idx,
+                            std::uint64_t key)
+{
+    const db::IndexPath path = idx.lookup(key);
+    for (unsigned l = 0; l < path.height; ++l) {
+        const std::uint16_t offset = static_cast<std::uint16_t>(
+            db::Schema::mix(key, l, 0x1d) % (db::blockBytes - 256));
+        t.actions.push_back(Action::touchIndex(path.node[l], offset));
+    }
+}
+
+void
+TxnPlanner::emitRowTouch(ActionTrace &t, const RowLoc &loc, bool modify)
+{
+    const std::uint32_t offset = loc.slot * loc.rowBytes;
+    const std::uint16_t bytes = static_cast<std::uint16_t>(
+        std::min<std::uint32_t>(loc.rowBytes, 512));
+    t.actions.push_back(Action::touchHeap(
+        loc.block, static_cast<std::uint16_t>(offset), bytes, modify));
+}
+
+void
+TxnPlanner::emitUndo(ActionTrace &t, std::uint32_t bytes)
+{
+    const std::uint64_t cursor = db_.schema().allocateUndo(bytes);
+    const db::BlockId block = db_.schema().undoBlockAt(cursor);
+    const std::uint16_t offset = static_cast<std::uint16_t>(
+        cursor % db::blockBytes);
+    t.actions.push_back(Action::touchFresh(
+        block, offset,
+        static_cast<std::uint16_t>(std::min<std::uint32_t>(bytes, 512))));
+}
+
+void
+TxnPlanner::emitStatement(ActionTrace &t)
+{
+    t.actions.push_back(Action::compute(db_.costs().sqlStatementInstr));
+}
+
+void
+TxnPlanner::planNewOrder(ActionTrace &t, Rng &rng, std::uint32_t w)
+{
+    db::Schema &s = db_.schema();
+    const auto &cfg = s.config();
+    const std::uint32_t d =
+        static_cast<std::uint32_t>(rng.below(cfg.districtsPerWarehouse));
+    const std::uint32_t c = pickCustomer(rng, cfg);
+    const std::uint8_t ol_cnt =
+        static_cast<std::uint8_t>(rng.range(5, 15));
+
+    // Read warehouse (tax rate). The warehouse block is a shared hot
+    // block; its buffer-busy/ITL contention is modeled as a short
+    // row lock held through the order-entry phase — the source of the
+    // context-switch spike at small W (Figure 8).
+    t.actions.push_back(Action::lock(db::makeLockKey(Table::Warehouse, w)));
+    emitStatement(t);
+    emitRowTouch(t, s.warehouseRow(w), false);
+
+    // Lock + read/update district (allocates the order id).
+    t.actions.push_back(
+        Action::lock(db::makeLockKey(Table::District,
+                                     w * cfg.districtsPerWarehouse + d)));
+    emitStatement(t);
+    emitRowTouch(t, s.districtRow(w, d), true);
+    emitUndo(t, 120);
+
+    // Read customer.
+    emitStatement(t);
+    emitIndexLookup(t, s.customerIndex(), s.customerKey(w, d, c));
+    emitRowTouch(t, s.customerRow(w, d, c), false);
+
+    const std::uint32_t oid = s.allocateOrder(w, d, c, ol_cnt);
+    const db::OrderInfo info = s.orderInfo(w, d, oid);
+
+    // Insert order + new-order rows.
+    emitStatement(t);
+    emitIndexLookup(t, s.ordersIndex(), s.orderKey(w, d, oid));
+    emitRowTouch(t, s.orderRow(w, d, oid), true);
+    emitUndo(t, 60);
+    emitStatement(t);
+    emitIndexLookup(t, s.newOrderIndex(), s.newOrderKey(w, d, oid));
+    emitRowTouch(t, s.newOrderRow(w, d, oid), true);
+
+    // Order lines: item read, stock read/update, line insert. Stock
+    // keys are sorted to respect the global locking order (stock rows
+    // use short-duration latches folded into the path cost, so no
+    // Lock actions are emitted for them).
+    for (unsigned l = 0; l < ol_cnt; ++l) {
+        const std::uint32_t item = pickItem(rng, cfg);
+        std::uint32_t supply_w = w;
+        if (s.warehouses() > 1 && rng.chance(0.01)) {
+            supply_w = static_cast<std::uint32_t>(
+                rng.below(s.warehouses()));
+        }
+
+        emitStatement(t);
+        emitIndexLookup(t, s.itemIndex(), item);
+        emitRowTouch(t, s.itemRow(item), false);
+
+        emitStatement(t);
+        emitIndexLookup(t, s.stockIndex(), s.stockKey(supply_w, item));
+        emitRowTouch(t, s.stockRow(supply_w, item), true);
+        emitUndo(t, 100);
+        s.adjustStock(supply_w, item,
+                      -static_cast<std::int32_t>(rng.range(1, 10)));
+
+        emitRowTouch(t, s.orderLineRow(w, d, info.olSeqStart + l), true);
+    }
+
+    // End of the block-contention critical section.
+    t.actions.push_back(
+        Action::unlock(db::makeLockKey(Table::Warehouse, w)));
+
+    t.logBytes = 4000 + 450u * ol_cnt;
+}
+
+void
+TxnPlanner::planPayment(ActionTrace &t, Rng &rng, std::uint32_t w)
+{
+    db::Schema &s = db_.schema();
+    const auto &cfg = s.config();
+    const std::uint32_t d =
+        static_cast<std::uint32_t>(rng.below(cfg.districtsPerWarehouse));
+
+    // 85% of payments are for the home warehouse, 15% remote.
+    std::uint32_t cw = w;
+    std::uint32_t cd = d;
+    if (s.warehouses() > 1 && rng.chance(0.15)) {
+        cw = static_cast<std::uint32_t>(rng.below(s.warehouses()));
+        cd = static_cast<std::uint32_t>(
+            rng.below(cfg.districtsPerWarehouse));
+    }
+    const std::uint32_t c = pickCustomer(rng, cfg);
+    const double amount = rng.uniform(1.0, 5000.0);
+
+    // Locks in global (table-rank, key) order.
+    t.actions.push_back(Action::lock(db::makeLockKey(Table::Warehouse, w)));
+    t.actions.push_back(
+        Action::lock(db::makeLockKey(Table::District,
+                                     w * cfg.districtsPerWarehouse + d)));
+    t.actions.push_back(Action::lock(
+        db::makeLockKey(Table::Customer, s.customerKey(cw, cd, c))));
+
+    emitStatement(t);
+    emitRowTouch(t, s.warehouseRow(w), true);
+    emitUndo(t, 80);
+    s.addWarehouseYtd(w, amount);
+
+    emitStatement(t);
+    emitRowTouch(t, s.districtRow(w, d), true);
+    emitUndo(t, 80);
+    s.addDistrictYtd(w, d, amount);
+
+    // 60% of customer selections go through the last-name index (a
+    // short range scan), 40% by customer id.
+    emitStatement(t);
+    if (rng.chance(0.60)) {
+        emitIndexLookup(t, s.customerNameIndex(),
+                        s.customerKey(cw, cd, c));
+        // Name collisions: the scan touches a second leaf and a few
+        // candidate rows.
+        const db::IndexPath p =
+            s.customerNameIndex().lookup(s.customerKey(cw, cd, c));
+        t.actions.push_back(Action::touchIndex(p.leaf(), 4096));
+        for (unsigned k = 0; k < 2; ++k) {
+            const std::uint32_t cc =
+                (c + 13 * (k + 1)) % cfg.customersPerDistrict;
+            emitRowTouch(t, s.customerRow(cw, cd, cc), false);
+        }
+    } else {
+        emitIndexLookup(t, s.customerIndex(), s.customerKey(cw, cd, c));
+    }
+    emitRowTouch(t, s.customerRow(cw, cd, c), true);
+    emitUndo(t, 120);
+    s.adjustCustomerBalance(cw, cd, c, -amount);
+
+    // History insert (no index; append-only ring, never read back).
+    emitStatement(t);
+    const std::uint32_t hseq = s.allocateHistory(w);
+    const RowLoc hloc = s.historyRow(w, hseq);
+    t.actions.push_back(Action::touchFresh(
+        hloc.block, static_cast<std::uint16_t>(hloc.slot * hloc.rowBytes),
+        static_cast<std::uint16_t>(hloc.rowBytes)));
+
+    t.logBytes = 3200;
+}
+
+void
+TxnPlanner::planOrderStatus(ActionTrace &t, Rng &rng, std::uint32_t w)
+{
+    db::Schema &s = db_.schema();
+    const auto &cfg = s.config();
+    const std::uint32_t d =
+        static_cast<std::uint32_t>(rng.below(cfg.districtsPerWarehouse));
+    const std::uint32_t c = pickCustomer(rng, cfg);
+
+    emitStatement(t);
+    if (rng.chance(0.60)) {
+        emitIndexLookup(t, s.customerNameIndex(), s.customerKey(w, d, c));
+    } else {
+        emitIndexLookup(t, s.customerIndex(), s.customerKey(w, d, c));
+    }
+    emitRowTouch(t, s.customerRow(w, d, c), false);
+
+    // The customer's most recent order.
+    const std::uint32_t next = s.nextOid(w, d);
+    if (next > 0) {
+        const std::uint32_t back =
+            static_cast<std::uint32_t>(rng.below(std::min(next, 6u)));
+        const std::uint32_t oid = next - 1 - back;
+        emitStatement(t);
+        emitIndexLookup(t, s.ordersIndex(), s.orderKey(w, d, oid));
+        emitRowTouch(t, s.orderRow(w, d, oid), false);
+
+        const db::OrderInfo info = s.orderInfo(w, d, oid);
+        emitStatement(t);
+        const RowLoc first = s.orderLineRow(w, d, info.olSeqStart);
+        const std::uint32_t span = std::min<std::uint32_t>(
+            static_cast<std::uint32_t>(info.olCnt) * first.rowBytes,
+            static_cast<std::uint32_t>(db::blockBytes) -
+                first.slot * first.rowBytes);
+        t.actions.push_back(Action::touchHeap(
+            first.block,
+            static_cast<std::uint16_t>(first.slot * first.rowBytes),
+            static_cast<std::uint16_t>(span), false));
+    }
+
+    t.logBytes = 0; // Read-only.
+}
+
+void
+TxnPlanner::planDelivery(ActionTrace &t, Rng &rng, std::uint32_t w)
+{
+    db::Schema &s = db_.schema();
+    const auto &cfg = s.config();
+    (void)rng;
+
+    for (std::uint32_t d = 0; d < cfg.districtsPerWarehouse; ++d) {
+        const auto oid = s.popDeliveryOrder(w, d);
+        if (!oid)
+            continue;
+        t.actions.push_back(
+            Action::lock(db::makeLockKey(
+                Table::District, w * cfg.districtsPerWarehouse + d)));
+
+        // Delete the new-order entry.
+        emitStatement(t);
+        emitIndexLookup(t, s.newOrderIndex(), s.newOrderKey(w, d, *oid));
+        emitRowTouch(t, s.newOrderRow(w, d, *oid), true);
+
+        // Update the order (carrier id).
+        emitStatement(t);
+        emitIndexLookup(t, s.ordersIndex(), s.orderKey(w, d, *oid));
+        emitRowTouch(t, s.orderRow(w, d, *oid), true);
+        emitUndo(t, 60);
+
+        // Stamp the order lines.
+        const db::OrderInfo info = s.orderInfo(w, d, *oid);
+        emitStatement(t);
+        const RowLoc first = s.orderLineRow(w, d, info.olSeqStart);
+        const std::uint32_t span = std::min<std::uint32_t>(
+            static_cast<std::uint32_t>(info.olCnt) * first.rowBytes,
+            static_cast<std::uint32_t>(db::blockBytes) -
+                first.slot * first.rowBytes);
+        t.actions.push_back(Action::touchHeap(
+            first.block,
+            static_cast<std::uint16_t>(first.slot * first.rowBytes),
+            static_cast<std::uint16_t>(span), true));
+        emitUndo(t, 150);
+
+        // Credit the customer.
+        emitStatement(t);
+        emitIndexLookup(t, s.customerIndex(),
+                        s.customerKey(w, d, info.customer));
+        emitRowTouch(t, s.customerRow(w, d, info.customer), true);
+        emitUndo(t, 100);
+        s.adjustCustomerBalance(w, d, info.customer, 100.0);
+    }
+
+    t.logBytes = 12000;
+}
+
+void
+TxnPlanner::planStockLevel(ActionTrace &t, Rng &rng, std::uint32_t w)
+{
+    db::Schema &s = db_.schema();
+    const auto &cfg = s.config();
+    const std::uint32_t d =
+        static_cast<std::uint32_t>(rng.below(cfg.districtsPerWarehouse));
+
+    emitStatement(t);
+    emitRowTouch(t, s.districtRow(w, d), false);
+
+    // Scan the order lines of the last 20 orders (~200 rows, a couple
+    // of blocks at the append frontier).
+    const std::uint32_t next = s.nextOid(w, d);
+    const std::uint32_t lookback = std::min(next, 20u);
+    emitStatement(t);
+    if (lookback > 0) {
+        const db::OrderInfo oldest =
+            s.orderInfo(w, d, next - lookback);
+        const RowLoc first = s.orderLineRow(w, d, oldest.olSeqStart);
+        for (unsigned b = 0; b < 2; ++b) {
+            t.actions.push_back(Action::touchHeap(
+                first.block + b, 0,
+                static_cast<std::uint16_t>(db::blockBytes - 1), false));
+        }
+    }
+
+    // Check ~20 distinct stocked items for low quantity.
+    emitStatement(t);
+    for (unsigned k = 0; k < 20; ++k) {
+        const std::uint32_t item = pickItem(rng, cfg);
+        emitIndexLookup(t, s.stockIndex(), s.stockKey(w, item));
+        emitRowTouch(t, s.stockRow(w, item), false);
+    }
+
+    t.logBytes = 0; // Read-only.
+}
+
+} // namespace odbsim::odb

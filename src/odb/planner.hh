@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Transaction planners for the five ODB transaction types.
+ *
+ * A planner runs the transaction's logic *functionally* against the
+ * schema (allocating order ids, adjusting stock, deriving which rows
+ * and index nodes are touched) and records an ActionTrace for timed
+ * replay. Non-uniform key selection follows TPC-C: NURand customer and
+ * item choices, 85/15 home/remote payment warehouses, 1% remote stock.
+ *
+ * Lock actions are emitted in global (table-rank, key) order, making
+ * the replay deadlock-free by construction.
+ */
+
+#ifndef ODBSIM_ODB_PLANNER_HH
+#define ODBSIM_ODB_PLANNER_HH
+
+#include <cstdint>
+
+#include "db/database.hh"
+#include "db/trace.hh"
+#include "sim/rng.hh"
+
+namespace odbsim::odb
+{
+
+/** Transaction-mix weights (percent; TPC-C-like defaults). */
+struct TxnMix
+{
+    unsigned newOrderPct = 45;
+    unsigned paymentPct = 43;
+    unsigned orderStatusPct = 4;
+    unsigned deliveryPct = 4;
+    unsigned stockLevelPct = 4;
+};
+
+/**
+ * Builds action traces against one database.
+ */
+class TxnPlanner
+{
+  public:
+    TxnPlanner(db::Database &database, const TxnMix &mix);
+
+    /** Pick a type from the mix and plan it for @p home_w. */
+    db::ActionTrace planRandom(Rng &rng, std::uint32_t home_w);
+
+    /** Plan a specific transaction type. */
+    db::ActionTrace plan(db::TxnType type, Rng &rng,
+                         std::uint32_t home_w);
+
+    const TxnMix &mix() const { return mix_; }
+
+  private:
+    void planNewOrder(db::ActionTrace &t, Rng &rng, std::uint32_t w);
+    void planPayment(db::ActionTrace &t, Rng &rng, std::uint32_t w);
+    void planOrderStatus(db::ActionTrace &t, Rng &rng, std::uint32_t w);
+    void planDelivery(db::ActionTrace &t, Rng &rng, std::uint32_t w);
+    void planStockLevel(db::ActionTrace &t, Rng &rng, std::uint32_t w);
+
+    /** Emit the root-to-leaf index traversal for @p key. */
+    void emitIndexLookup(db::ActionTrace &t, const db::ImplicitBTree &idx,
+                         std::uint64_t key);
+    /** Emit a heap-row touch. */
+    void emitRowTouch(db::ActionTrace &t, const db::RowLoc &loc,
+                      bool modify);
+    /** Emit an undo-record write for a modification. */
+    void emitUndo(db::ActionTrace &t, std::uint32_t bytes);
+    /** Emit the per-SQL-statement execution overhead. */
+    void emitStatement(db::ActionTrace &t);
+
+    db::Database &db_;
+    TxnMix mix_;
+};
+
+} // namespace odbsim::odb
+
+#endif // ODBSIM_ODB_PLANNER_HH

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * OdbWorkload: drives one database with C concurrent clients (each a
+ * dedicated ServerProcess bound to a home warehouse) and aggregates
+ * transaction throughput and response-time statistics.
+ */
+
+#ifndef ODBSIM_ODB_WORKLOAD_HH
+#define ODBSIM_ODB_WORKLOAD_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "db/database.hh"
+#include "db/trace.hh"
+#include "odb/planner.hh"
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace odbsim::odb
+{
+
+/** Client population and mix. */
+struct WorkloadConfig
+{
+    unsigned clients = 8;
+    TxnMix mix;
+    std::uint64_t seed = 0x0dbULL;
+};
+
+/**
+ * The client/server population of one run.
+ */
+class OdbWorkload
+{
+  public:
+    OdbWorkload(db::Database &database, const WorkloadConfig &cfg);
+
+    /** Spawn the server processes (call after Database::start()). */
+    void start();
+
+    unsigned clients() const { return cfg_.clients; }
+
+    /** Home warehouse of each spawned client. */
+    const std::vector<std::uint32_t> &homes() const { return homes_; }
+
+    /** Called by ServerProcess at commit time. */
+    void recordCommit(db::TxnType type, Tick latency);
+
+    /** @name Statistics @{ */
+    std::uint64_t committed() const;
+    std::uint64_t
+    committed(db::TxnType t) const
+    {
+        return counts_[static_cast<unsigned>(t)];
+    }
+    const RunningStat &
+    latencyMs(db::TxnType t) const
+    {
+        return latency_[static_cast<unsigned>(t)];
+    }
+    /** Response-time distribution over all transaction types. */
+    const Histogram &latencyHistogramMs() const { return latencyHist_; }
+    /** Transactions per second over @p window ticks. */
+    double tps(Tick window) const;
+    void resetStats();
+    /** @} */
+
+  private:
+    db::Database &db_;
+    WorkloadConfig cfg_;
+    TxnPlanner planner_;
+    Rng rng_;
+    bool started_ = false;
+    std::vector<std::uint32_t> homes_;
+
+    std::uint64_t counts_[db::numTxnTypes] = {};
+    RunningStat latency_[db::numTxnTypes];
+    Histogram latencyHist_{0.0, 500.0, 500};
+};
+
+} // namespace odbsim::odb
+
+#endif // ODBSIM_ODB_WORKLOAD_HH

@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Disk and disk-array models.
+ *
+ * Each disk services one request at a time from a FIFO queue. Random
+ * requests pay seek + rotational latency + transfer; sequential
+ * requests (the redo log) pay a much smaller cost. The studied system
+ * had 26 Ultra320 SCSI drives; the array routes data blocks by hash
+ * and reserves dedicated drives for the two redo-log files.
+ */
+
+#ifndef ODBSIM_OS_DISK_HH
+#define ODBSIM_OS_DISK_HH
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/event_queue.hh"
+#include "sim/rng.hh"
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace odbsim::os
+{
+
+/** Per-drive service model. */
+struct DiskConfig
+{
+    /** Mean positioning time (seek + rotation) for random access, ms
+     *  (15 krpm Ultra320 class, with elevator scheduling gains). */
+    double randomPositionMs = 3.2;
+    /** Minimum positioning time, ms. */
+    double minPositionMs = 0.8;
+    /** Mean positioning time for asynchronous writes, ms: the
+     *  controller's write-behind cache destages them in elevator
+     *  order, far cheaper than a cold random read. */
+    double writePositionMs = 1.2;
+    /** Sequential (log) access service time, ms. */
+    double sequentialMs = 0.35;
+    /** Media transfer rate, MB/s. */
+    double transferMbPerSec = 40.0;
+};
+
+/** A single disk request. */
+struct DiskRequest
+{
+    std::uint64_t bytes = 8192;
+    bool write = false;
+    bool sequential = false;
+    /** Invoked at completion time. */
+    std::function<void()> onComplete;
+};
+
+/**
+ * One drive: an in-service request plus two FIFO queues — demand
+ * reads are serviced ahead of write-behind destaging, as SCSI
+ * controllers of the era did.
+ */
+class Disk
+{
+  public:
+    Disk(std::string name, const DiskConfig &cfg, EventQueue &eq,
+         std::uint64_t seed);
+
+    void submit(DiskRequest req);
+
+    bool busy() const { return busy_; }
+    std::size_t
+    queueDepth() const
+    {
+        return readQueue_.size() + writeQueue_.size();
+    }
+
+    /** @name Statistics @{ */
+    std::uint64_t completedReads() const { return reads_; }
+    std::uint64_t completedWrites() const { return writes_; }
+    std::uint64_t bytesRead() const { return bytesRead_; }
+    std::uint64_t bytesWritten() const { return bytesWritten_; }
+    const RunningStat &latency() const { return latency_; }
+    /** Ticks this drive spent servicing requests. */
+    Tick busyTicks() const { return busyTicks_; }
+    void resetStats();
+    /** @} */
+
+  private:
+    void startNext();
+    Tick serviceTicks(const DiskRequest &req);
+
+    std::string name_;
+    DiskConfig cfg_;
+    EventQueue &eq_;
+    Rng rng_;
+
+    std::deque<std::pair<DiskRequest, Tick>> readQueue_;
+    std::deque<std::pair<DiskRequest, Tick>> writeQueue_;
+    bool busy_ = false;
+
+    std::uint64_t reads_ = 0;
+    std::uint64_t writes_ = 0;
+    std::uint64_t bytesRead_ = 0;
+    std::uint64_t bytesWritten_ = 0;
+    RunningStat latency_;
+    Tick busyTicks_ = 0;
+    Tick busySince_ = 0;
+};
+
+/** Shape of the storage subsystem. */
+struct DiskArrayConfig
+{
+    unsigned dataDisks = 24;
+    unsigned logDisks = 2;
+    DiskConfig disk;
+};
+
+/**
+ * The array: data blocks striped by id, log writes round-robined over
+ * the dedicated log drives.
+ */
+class DiskArray
+{
+  public:
+    DiskArray(const DiskArrayConfig &cfg, EventQueue &eq,
+              std::uint64_t seed);
+
+    /** Read one data block (random access). */
+    void readBlock(std::uint64_t block_id, std::uint64_t bytes,
+                   std::function<void()> on_complete);
+
+    /** Write one data block (random access, asynchronous). */
+    void writeBlock(std::uint64_t block_id, std::uint64_t bytes,
+                    std::function<void()> on_complete);
+
+    /** Sequential write to the redo log. */
+    void writeLog(std::uint64_t bytes, std::function<void()> on_complete);
+
+    unsigned numDataDisks() const
+    {
+        return static_cast<unsigned>(dataDisks_.size());
+    }
+
+    /** @name Aggregate statistics over data + log drives @{ */
+    std::uint64_t totalReads() const;
+    std::uint64_t totalWrites() const;
+    std::uint64_t totalBytesRead() const;
+    std::uint64_t totalBytesWritten() const;
+    std::uint64_t dataReads() const;
+    std::uint64_t dataWrites() const;
+    std::uint64_t dataBytesRead() const;
+    std::uint64_t dataBytesWritten() const;
+    std::uint64_t logWrites() const;
+    std::uint64_t logBytesWritten() const;
+    /** Mean data-drive utilization over an observation window. */
+    double avgDataUtilization(Tick window) const;
+    double avgReadLatencyMs() const;
+    void resetStats();
+    /** @} */
+
+    const Disk &dataDisk(unsigned i) const { return *dataDisks_[i]; }
+
+  private:
+    std::vector<std::unique_ptr<Disk>> dataDisks_;
+    std::vector<std::unique_ptr<Disk>> logDisks_;
+    unsigned nextLogDisk_ = 0;
+};
+
+} // namespace odbsim::os
+
+#endif // ODBSIM_OS_DISK_HH

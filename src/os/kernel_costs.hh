@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Instruction-count costs of kernel code paths, calibrated to a Linux
+ * 2.4-era kernel on IA-32 (the studied system ran Red Hat Advanced
+ * Server 2.1 with a 2.4.9 SMP kernel). These drive the OS-space IPX
+ * growth the paper reports in Figure 6.
+ */
+
+#ifndef ODBSIM_OS_KERNEL_COSTS_HH
+#define ODBSIM_OS_KERNEL_COSTS_HH
+
+#include <cstdint>
+
+namespace odbsim::os
+{
+
+/** Kernel path lengths, in instructions. */
+struct KernelCosts
+{
+    /** schedule() + switch_to + runqueue manipulation. */
+    std::uint64_t contextSwitchInstr = 7000;
+    /** Block-I/O submission syscall path (SCSI request build + issue). */
+    std::uint64_t ioSubmitInstr = 6000;
+    /** Interrupt + completion + wake-up path per finished I/O. */
+    std::uint64_t ioCompleteInstr = 8000;
+    /** Asynchronous write submission (no completion wake needed). */
+    std::uint64_t asyncWriteInstr = 4500;
+    /** Log-flush submission (sequential write, group commit). */
+    std::uint64_t logWriteInstr = 5000;
+    /** Per-syscall baseline (entry/exit, copies). */
+    std::uint64_t syscallBaseInstr = 900;
+    /** Extra pipeline-flush style cycles per context switch; lands in
+     *  the "Other" CPI component. */
+    double contextSwitchExtraCycles = 2500.0;
+};
+
+} // namespace odbsim::os
+
+#endif // ODBSIM_OS_KERNEL_COSTS_HH

@@ -1,0 +1,113 @@
+#include "perfmon/events.hh"
+
+namespace odbsim::perfmon
+{
+
+SystemCounters
+SystemCounters::read(const os::System &sys)
+{
+    SystemCounters out;
+    // Architectural counters are per logical CPU; memory-side
+    // counters live in the (possibly SMT-shared) cache hierarchies.
+    for (unsigned i = 0; i < sys.numCpus(); ++i) {
+        const auto &core = sys.core(i);
+        for (unsigned m = 0; m < 2; ++m) {
+            const auto mode = static_cast<mem::ExecMode>(m);
+            const auto &cc = core.counters()[mode];
+            auto &u = m == 0 ? out.instructions.user : out.instructions.os;
+            u += cc.instructions;
+            auto &cy = m == 0 ? out.cycles.user : out.cycles.os;
+            cy += cc.cycles;
+            auto &br = m == 0 ? out.branchMispredicts.user
+                              : out.branchMispredicts.os;
+            br += cc.branchMispredicts;
+            auto &tlb = m == 0 ? out.tlbMisses.user : out.tlbMisses.os;
+            tlb += cc.tlbMisses;
+        }
+    }
+    for (unsigned i = 0; i < sys.memsys().numCpus(); ++i) {
+        for (unsigned m = 0; m < 2; ++m) {
+            const auto mode = static_cast<mem::ExecMode>(m);
+            const auto &mc = sys.memsys().cpu(i).counters(mode);
+            auto &tc = m == 0 ? out.tcMisses.user : out.tcMisses.os;
+            tc += static_cast<double>(mc.codeFetches);
+            auto &l2 = m == 0 ? out.l2Misses.user : out.l2Misses.os;
+            l2 += static_cast<double>(mc.l2Misses);
+            auto &l3 = m == 0 ? out.l3Misses.user : out.l3Misses.os;
+            l3 += static_cast<double>(mc.l3Misses);
+            auto &coh = m == 0 ? out.coherenceMisses.user
+                               : out.coherenceMisses.os;
+            coh += static_cast<double>(mc.coherenceMisses);
+        }
+    }
+    out.busUtilization = sys.memsys().bus().utilization();
+    out.ioqCycles = sys.memsys().bus().ioqCycles();
+    return out;
+}
+
+SystemCounters
+SystemCounters::delta(const SystemCounters &earlier) const
+{
+    SystemCounters out;
+    out.instructions = instructions - earlier.instructions;
+    out.cycles = cycles - earlier.cycles;
+    out.branchMispredicts =
+        branchMispredicts - earlier.branchMispredicts;
+    out.tlbMisses = tlbMisses - earlier.tlbMisses;
+    out.tcMisses = tcMisses - earlier.tcMisses;
+    out.l2Misses = l2Misses - earlier.l2Misses;
+    out.l3Misses = l3Misses - earlier.l3Misses;
+    out.coherenceMisses = coherenceMisses - earlier.coherenceMisses;
+    out.busUtilization = busUtilization;
+    out.ioqCycles = ioqCycles;
+    return out;
+}
+
+namespace
+{
+
+double
+ratio(double num, double den)
+{
+    return den > 0.0 ? num / den : 0.0;
+}
+
+} // namespace
+
+double
+SystemCounters::cpi() const
+{
+    return ratio(cycles.total(), instructions.total());
+}
+
+double
+SystemCounters::cpiUser() const
+{
+    return ratio(cycles.user, instructions.user);
+}
+
+double
+SystemCounters::cpiOs() const
+{
+    return ratio(cycles.os, instructions.os);
+}
+
+double
+SystemCounters::mpi() const
+{
+    return ratio(l3Misses.total(), instructions.total());
+}
+
+double
+SystemCounters::mpiUser() const
+{
+    return ratio(l3Misses.user, instructions.user);
+}
+
+double
+SystemCounters::mpiOs() const
+{
+    return ratio(l3Misses.os, instructions.os);
+}
+
+} // namespace odbsim::perfmon

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * The performance-monitoring events of the paper's Table 2 and the
+ * system-wide counter snapshot used by the analysis layer.
+ *
+ * | Alias              | EMON event              | Meaning               |
+ * |--------------------|-------------------------|-----------------------|
+ * | Instructions       | instr_retired           | instructions retired  |
+ * | Branch Mispred.    | mispred_branch_retired  | mispredicted branches |
+ * | TLB Miss           | page_walk_type          | TLB misses (walks)    |
+ * | TC Miss            | BPU_fetch_request       | trace-cache misses    |
+ * | L2 Miss            | BSU_cache_reference     | L2 misses             |
+ * | L3 Miss            | BSU_cache_reference     | L3 misses             |
+ * | Clock Cycles       | Global_power_events     | unhalted cycles       |
+ * | Bus Utilization    | FSB_data_activity       | bus busy fraction     |
+ * | Bus-Transaction    | IOQ_active_entries &    | mean IOQ residency    |
+ * | Time               | IOQ_allocation          |                       |
+ */
+
+#ifndef ODBSIM_PERFMON_EVENTS_HH
+#define ODBSIM_PERFMON_EVENTS_HH
+
+#include <cstdint>
+
+#include "os/system.hh"
+
+namespace odbsim::perfmon
+{
+
+/** The monitored events (paper Table 2). */
+enum class EmonEvent : std::uint8_t
+{
+    Instructions,
+    BranchMispredicts,
+    TlbMisses,
+    TcMisses,
+    L2Misses,
+    L3Misses,
+    CoherenceMisses, ///< L3-miss qualifier (HITM), beyond Table 2.
+    ClockCycles,
+    BusUtilization,
+    BusTransactionTime,
+    NumEvents,
+};
+
+constexpr unsigned numEmonEvents =
+    static_cast<unsigned>(EmonEvent::NumEvents);
+
+constexpr const char *
+toString(EmonEvent e)
+{
+    switch (e) {
+      case EmonEvent::Instructions: return "instr_retired";
+      case EmonEvent::BranchMispredicts: return "mispred_branch_retired";
+      case EmonEvent::TlbMisses: return "page_walk_type";
+      case EmonEvent::TcMisses: return "BPU_fetch_request";
+      case EmonEvent::L2Misses: return "BSU_cache_reference.L2";
+      case EmonEvent::L3Misses: return "BSU_cache_reference.L3";
+      case EmonEvent::CoherenceMisses: return "BSU_cache_reference.HITM";
+      case EmonEvent::ClockCycles: return "Global_power_events";
+      case EmonEvent::BusUtilization: return "FSB_data_activity";
+      case EmonEvent::BusTransactionTime: return "IOQ_active_entries";
+      default: return "?";
+    }
+}
+
+/** A user/OS split of one accumulating event. */
+struct EventReading
+{
+    double user = 0.0;
+    double os = 0.0;
+
+    double total() const { return user + os; }
+
+    EventReading
+    operator-(const EventReading &o) const
+    {
+        return EventReading{user - o.user, os - o.os};
+    }
+
+    EventReading &
+    operator+=(const EventReading &o)
+    {
+        user += o.user;
+        os += o.os;
+        return *this;
+    }
+};
+
+/**
+ * A full snapshot of the machine's counters, aggregated over CPUs and
+ * split by privilege mode where the hardware supports it.
+ */
+struct SystemCounters
+{
+    EventReading instructions;
+    EventReading cycles;
+    EventReading branchMispredicts;
+    EventReading tlbMisses;
+    EventReading tcMisses;
+    EventReading l2Misses;
+    EventReading l3Misses;
+    EventReading coherenceMisses;
+    /** Instantaneous bus gauges (not accumulating). */
+    double busUtilization = 0.0;
+    double ioqCycles = 0.0;
+
+    /** Read the live counters of @p sys. */
+    static SystemCounters read(const os::System &sys);
+
+    /** Accumulating counters' delta since @p earlier (gauges copied). */
+    SystemCounters delta(const SystemCounters &earlier) const;
+
+    /** @name Derived metrics @{ */
+    double cpi() const;
+    double cpiUser() const;
+    double cpiOs() const;
+    double mpi() const;
+    double mpiUser() const;
+    double mpiOs() const;
+    /** @} */
+};
+
+} // namespace odbsim::perfmon
+
+#endif // ODBSIM_PERFMON_EVENTS_HH

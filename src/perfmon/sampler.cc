@@ -1,0 +1,124 @@
+#include "perfmon/sampler.hh"
+
+#include "sim/logging.hh"
+
+namespace odbsim::perfmon
+{
+
+namespace
+{
+
+/** Copy only @p group's events from @p src into @p dst (accumulate). */
+void
+accumulateGroup(SystemCounters &dst, const SystemCounters &src,
+                const EventGroup &group)
+{
+    for (const EmonEvent e : group.events) {
+        switch (e) {
+          case EmonEvent::Instructions:
+            dst.instructions += src.instructions;
+            break;
+          case EmonEvent::ClockCycles:
+            dst.cycles += src.cycles;
+            break;
+          case EmonEvent::BranchMispredicts:
+            dst.branchMispredicts += src.branchMispredicts;
+            break;
+          case EmonEvent::TlbMisses:
+            dst.tlbMisses += src.tlbMisses;
+            break;
+          case EmonEvent::TcMisses:
+            dst.tcMisses += src.tcMisses;
+            break;
+          case EmonEvent::L2Misses:
+            dst.l2Misses += src.l2Misses;
+            break;
+          case EmonEvent::L3Misses:
+            dst.l3Misses += src.l3Misses;
+            break;
+          case EmonEvent::CoherenceMisses:
+            dst.coherenceMisses += src.coherenceMisses;
+            break;
+          case EmonEvent::BusUtilization:
+            dst.busUtilization = src.busUtilization;
+            break;
+          case EmonEvent::BusTransactionTime:
+            dst.ioqCycles = src.ioqCycles;
+            break;
+          default:
+            break;
+        }
+    }
+}
+
+void
+scaleReading(EventReading &r, double f)
+{
+    r.user *= f;
+    r.os *= f;
+}
+
+} // namespace
+
+std::vector<EventGroup>
+EmonSampler::defaultGroups()
+{
+    return {
+        {"retirement", {EmonEvent::Instructions, EmonEvent::ClockCycles}},
+        {"frontend",
+         {EmonEvent::BranchMispredicts, EmonEvent::TlbMisses,
+          EmonEvent::TcMisses}},
+        {"cache", {EmonEvent::L2Misses, EmonEvent::L3Misses}},
+        {"coherence", {EmonEvent::CoherenceMisses}},
+        {"bus",
+         {EmonEvent::BusUtilization, EmonEvent::BusTransactionTime}},
+    };
+}
+
+EmonSampler::EmonSampler(std::vector<EventGroup> groups)
+    : groups_(std::move(groups))
+{
+    odbsim_assert(!groups_.empty(), "sampler needs at least one group");
+}
+
+SampledMeasurement
+EmonSampler::measure(os::System &sys, Tick slice, unsigned rounds)
+{
+    odbsim_assert(slice > 0 && rounds > 0, "bad sampling schedule");
+
+    SampledMeasurement out;
+    const SystemCounters window_start = SystemCounters::read(sys);
+    const Tick t0 = sys.now();
+
+    for (unsigned r = 0; r < rounds; ++r) {
+        for (const EventGroup &g : groups_) {
+            const SystemCounters before = SystemCounters::read(sys);
+            sys.runFor(slice);
+            const SystemCounters after = SystemCounters::read(sys);
+            accumulateGroup(out.estimated, after.delta(before), g);
+        }
+    }
+
+    out.window = sys.now() - t0;
+    out.slicesPerGroup = rounds;
+    out.actual = SystemCounters::read(sys).delta(window_start);
+    out.actual.busUtilization =
+        sys.memsys().bus().utilizationStat().mean();
+    out.actual.ioqCycles = sys.memsys().bus().ioqStat().mean();
+
+    // Each accumulating event was observed for rounds * slice out of
+    // the full window; extrapolate to the window.
+    const double scale =
+        static_cast<double>(groups_.size());
+    scaleReading(out.estimated.instructions, scale);
+    scaleReading(out.estimated.cycles, scale);
+    scaleReading(out.estimated.branchMispredicts, scale);
+    scaleReading(out.estimated.tlbMisses, scale);
+    scaleReading(out.estimated.tcMisses, scale);
+    scaleReading(out.estimated.l2Misses, scale);
+    scaleReading(out.estimated.l3Misses, scale);
+    scaleReading(out.estimated.coherenceMisses, scale);
+    return out;
+}
+
+} // namespace odbsim::perfmon

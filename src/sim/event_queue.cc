@@ -1,0 +1,85 @@
+#include "sim/event_queue.hh"
+
+#include "sim/logging.hh"
+
+namespace odbsim
+{
+
+bool
+EventHandle::pending() const
+{
+    return slot_ && !slot_->cancelled && !slot_->fired;
+}
+
+void
+EventHandle::cancel()
+{
+    if (slot_)
+        slot_->cancelled = true;
+}
+
+EventHandle
+EventQueue::schedule(Tick when, Callback cb)
+{
+    odbsim_assert(when >= curTick_,
+                  "event scheduled in the past: ", when, " < ", curTick_);
+    auto slot = std::make_shared<EventHandle::Slot>();
+    queue_.push(Entry{when, nextSeq_++, std::move(cb), slot});
+    ++live_;
+    return EventHandle(std::move(slot));
+}
+
+bool
+EventQueue::step()
+{
+    while (!queue_.empty()) {
+        // priority_queue::top() is const; the entry is moved out via a
+        // const_cast that is safe because we pop immediately after.
+        Entry entry = std::move(const_cast<Entry &>(queue_.top()));
+        queue_.pop();
+        if (entry.slot->cancelled) {
+            // Cancelled entries were already removed from the live count
+            // when... no: cancellation only flags the slot; account here.
+            --live_;
+            continue;
+        }
+        curTick_ = entry.when;
+        entry.slot->fired = true;
+        --live_;
+        ++fired_;
+        entry.cb();
+        return true;
+    }
+    return false;
+}
+
+Tick
+EventQueue::run(Tick limit)
+{
+    while (!queue_.empty()) {
+        // Skip dead entries so top() reflects the next live event.
+        while (!queue_.empty() && queue_.top().slot->cancelled) {
+            queue_.pop();
+            --live_;
+        }
+        if (queue_.empty())
+            break;
+        if (queue_.top().when > limit) {
+            curTick_ = limit;
+            return curTick_;
+        }
+        step();
+    }
+    curTick_ = std::max(curTick_, limit);
+    return curTick_;
+}
+
+Tick
+EventQueue::runAll()
+{
+    while (step()) {
+    }
+    return curTick_;
+}
+
+} // namespace odbsim

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * The discrete-event simulation kernel: events, the global event queue,
+ * and the Simulator driver that advances simulated time.
+ *
+ * Events scheduled for the same tick fire in scheduling order (FIFO),
+ * which keeps runs deterministic for a fixed seed.
+ */
+
+#ifndef ODBSIM_SIM_EVENT_QUEUE_HH
+#define ODBSIM_SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace odbsim
+{
+
+class EventQueue;
+
+/**
+ * Handle to a scheduled event; allows cancellation without searching
+ * the queue (the queue entry is marked dead and skipped on pop).
+ */
+class EventHandle
+{
+  public:
+    EventHandle() = default;
+
+    /** True if the handle refers to a still-pending event. */
+    bool pending() const;
+
+    /** Cancel the event if still pending. */
+    void cancel();
+
+  private:
+    friend class EventQueue;
+    struct Slot
+    {
+        bool cancelled = false;
+        bool fired = false;
+    };
+    explicit EventHandle(std::shared_ptr<Slot> slot)
+        : slot_(std::move(slot))
+    {}
+
+    std::shared_ptr<Slot> slot_;
+};
+
+/**
+ * Time-ordered queue of callback events.
+ */
+class EventQueue
+{
+  public:
+    using Callback = std::function<void()>;
+
+    /** Current simulated time. */
+    Tick curTick() const { return curTick_; }
+
+    /** Schedule a callback at an absolute tick (>= curTick). */
+    EventHandle schedule(Tick when, Callback cb);
+
+    /** Schedule a callback after a relative delay. */
+    EventHandle
+    scheduleAfter(Tick delay, Callback cb)
+    {
+        return schedule(curTick_ + delay, std::move(cb));
+    }
+
+    /** True if no live events remain. */
+    bool empty() const { return live_ == 0; }
+
+    /** Number of live (non-cancelled) pending events. */
+    std::size_t size() const { return live_; }
+
+    /**
+     * Fire the next event (advancing curTick to its scheduled time).
+     * @return false if the queue was empty.
+     */
+    bool step();
+
+    /**
+     * Run until the queue drains or simulated time reaches the limit.
+     * Events scheduled exactly at @p limit do fire.
+     * @return the tick at which execution stopped.
+     */
+    Tick run(Tick limit);
+
+    /** Run until the queue is empty. */
+    Tick runAll();
+
+    /** Total number of events fired so far. */
+    std::uint64_t eventsFired() const { return fired_; }
+
+  private:
+    struct Entry
+    {
+        Tick when;
+        std::uint64_t seq;
+        Callback cb;
+        std::shared_ptr<EventHandle::Slot> slot;
+    };
+
+    struct Later
+    {
+        bool
+        operator()(const Entry &a, const Entry &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            return a.seq > b.seq;
+        }
+    };
+
+    std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
+    Tick curTick_ = 0;
+    std::uint64_t nextSeq_ = 0;
+    std::uint64_t fired_ = 0;
+    std::size_t live_ = 0;
+};
+
+} // namespace odbsim
+
+#endif // ODBSIM_SIM_EVENT_QUEUE_HH

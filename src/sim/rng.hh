@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Deterministic random number generation for the simulator.
+ *
+ * All stochastic behaviour in odbsim flows through Rng so that a run is
+ * exactly reproducible from its seed. The generator is xoshiro256**,
+ * seeded through SplitMix64, following the reference implementations by
+ * Blackman and Vigna.
+ */
+
+#ifndef ODBSIM_SIM_RNG_HH
+#define ODBSIM_SIM_RNG_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace odbsim
+{
+
+/** Deterministic pseudo-random number generator (xoshiro256**). */
+class Rng
+{
+  public:
+    /** Construct with a 64-bit seed, expanded through SplitMix64. */
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+    /** Next raw 64-bit value. */
+    std::uint64_t next();
+
+    /** Uniform double in [0, 1). */
+    double uniform();
+
+    /** Uniform double in [lo, hi). */
+    double uniform(double lo, double hi);
+
+    /** Uniform integer in [0, n) — n must be > 0. */
+    std::uint64_t below(std::uint64_t n);
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::int64_t range(std::int64_t lo, std::int64_t hi);
+
+    /** Bernoulli trial with probability p of true. */
+    bool chance(double p);
+
+    /** Exponentially distributed value with the given mean. */
+    double exponential(double mean);
+
+    /** Normally distributed value (Box-Muller). */
+    double normal(double mean, double stddev);
+
+    /**
+     * TPC-C style NURand non-uniform random value over [x, y].
+     *
+     * @param a The bit-or constant (255, 1023 or 8191 in TPC-C).
+     */
+    std::int64_t nurand(std::int64_t a, std::int64_t x, std::int64_t y);
+
+    /** Fork an independent child stream (for per-process generators). */
+    Rng fork();
+
+  private:
+    std::uint64_t s_[4];
+    bool haveSpareNormal_ = false;
+    double spareNormal_ = 0.0;
+    std::uint64_t nurandC_;
+};
+
+/**
+ * Zipf-distributed integer sampler over [0, n) with exponent theta.
+ *
+ * Uses the standard rejection-free inverse method of Gray et al. as used
+ * in YCSB; construction is O(1) and sampling is O(1).
+ */
+class ZipfGenerator
+{
+  public:
+    ZipfGenerator(std::uint64_t n, double theta);
+
+    /** Sample a value in [0, n); rank 0 is the most popular. */
+    std::uint64_t sample(Rng &rng) const;
+
+    std::uint64_t domain() const { return n_; }
+    double theta() const { return theta_; }
+
+  private:
+    static double zeta(std::uint64_t n, double theta);
+
+    std::uint64_t n_;
+    double theta_;
+    double alpha_;
+    double zetan_;
+    double eta_;
+};
+
+} // namespace odbsim
+
+#endif // ODBSIM_SIM_RNG_HH

@@ -1,0 +1,113 @@
+#include "sim/stats.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/logging.hh"
+
+namespace odbsim
+{
+
+void
+RunningStat::add(double x)
+{
+    if (n_ == 0) {
+        min_ = x;
+        max_ = x;
+    } else {
+        min_ = std::min(min_, x);
+        max_ = std::max(max_, x);
+    }
+    ++n_;
+    sum_ += x;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+}
+
+void
+RunningStat::reset()
+{
+    n_ = 0;
+    mean_ = 0.0;
+    m2_ = 0.0;
+    min_ = 0.0;
+    max_ = 0.0;
+    sum_ = 0.0;
+}
+
+double
+RunningStat::variance() const
+{
+    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double
+RunningStat::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t buckets)
+    : lo_(lo), hi_(hi), counts_(buckets, 0)
+{
+    odbsim_assert(hi > lo && buckets > 0, "bad histogram geometry");
+    width_ = (hi - lo) / static_cast<double>(buckets);
+}
+
+void
+Histogram::add(double x, std::uint64_t weight)
+{
+    std::size_t idx;
+    if (x < lo_) {
+        underflow_ += weight;
+        idx = 0;
+    } else if (x >= hi_) {
+        overflow_ += weight;
+        idx = counts_.size() - 1;
+    } else {
+        idx = static_cast<std::size_t>((x - lo_) / width_);
+        if (idx >= counts_.size())
+            idx = counts_.size() - 1;
+    }
+    counts_[idx] += weight;
+    total_ += weight;
+}
+
+void
+Histogram::reset()
+{
+    std::fill(counts_.begin(), counts_.end(), 0);
+    total_ = 0;
+    underflow_ = 0;
+    overflow_ = 0;
+}
+
+double
+Histogram::bucketLow(std::size_t i) const
+{
+    return lo_ + width_ * static_cast<double>(i);
+}
+
+double
+Histogram::quantile(double q) const
+{
+    if (total_ == 0)
+        return lo_;
+    q = std::clamp(q, 0.0, 1.0);
+    const double target = q * static_cast<double>(total_);
+    double cum = 0.0;
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+        const double next = cum + static_cast<double>(counts_[i]);
+        if (next >= target) {
+            const double frac =
+                counts_[i] ? (target - cum) / static_cast<double>(counts_[i])
+                           : 0.0;
+            return bucketLow(i) + frac * width_;
+        }
+        cum = next;
+    }
+    return hi_;
+}
+
+} // namespace odbsim

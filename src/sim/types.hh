@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Fundamental simulation types: ticks, cycles, addresses and unit helpers.
+ *
+ * One simulation tick equals one picosecond. Picoseconds give exact
+ * integer conversion for the 1.6 GHz Xeon MP clock used throughout the
+ * study (625 ps per cycle) and enough range (uint64_t) for several days
+ * of simulated time.
+ */
+
+#ifndef ODBSIM_SIM_TYPES_HH
+#define ODBSIM_SIM_TYPES_HH
+
+#include <cstdint>
+
+namespace odbsim
+{
+
+/** Simulated time in picoseconds. */
+using Tick = std::uint64_t;
+
+/** A count of CPU clock cycles. */
+using Cycles = std::uint64_t;
+
+/** A simulated virtual or physical address (byte granularity). */
+using Addr = std::uint64_t;
+
+/** Ticks per picosecond-based unit. */
+constexpr Tick tickPerPs = 1;
+constexpr Tick tickPerNs = 1000 * tickPerPs;
+constexpr Tick tickPerUs = 1000 * tickPerNs;
+constexpr Tick tickPerMs = 1000 * tickPerUs;
+constexpr Tick tickPerSec = 1000 * tickPerMs;
+
+/** Convert seconds (double) to ticks. */
+constexpr Tick
+ticksFromSeconds(double s)
+{
+    return static_cast<Tick>(s * static_cast<double>(tickPerSec));
+}
+
+/** Convert ticks to seconds (double). */
+constexpr double
+secondsFromTicks(Tick t)
+{
+    return static_cast<double>(t) / static_cast<double>(tickPerSec);
+}
+
+/** Convert milliseconds (double) to ticks. */
+constexpr Tick
+ticksFromMs(double ms)
+{
+    return static_cast<Tick>(ms * static_cast<double>(tickPerMs));
+}
+
+/** Convert microseconds (double) to ticks. */
+constexpr Tick
+ticksFromUs(double us)
+{
+    return static_cast<Tick>(us * static_cast<double>(tickPerUs));
+}
+
+/**
+ * Fixed CPU clock helper: converts between cycles and ticks for a core
+ * running at a given frequency.
+ */
+class ClockDomain
+{
+  public:
+    explicit ClockDomain(double freq_hz)
+        : freqHz_(freq_hz),
+          ticksPerCycle_(static_cast<double>(tickPerSec) / freq_hz)
+    {}
+
+    /** Clock frequency in Hz. */
+    double frequency() const { return freqHz_; }
+
+    /** Picoseconds covered by one cycle (may be fractional). */
+    double ticksPerCycle() const { return ticksPerCycle_; }
+
+    /** Convert a cycle count to ticks (rounded to nearest tick). */
+    Tick
+    cyclesToTicks(double cycles) const
+    {
+        return static_cast<Tick>(cycles * ticksPerCycle_ + 0.5);
+    }
+
+    /** Convert a tick span to (fractional) cycles. */
+    double
+    ticksToCycles(Tick t) const
+    {
+        return static_cast<double>(t) / ticksPerCycle_;
+    }
+
+  private:
+    double freqHz_;
+    double ticksPerCycle_;
+};
+
+/** Common storage sizes. */
+constexpr std::uint64_t KiB = 1024;
+constexpr std::uint64_t MiB = 1024 * KiB;
+constexpr std::uint64_t GiB = 1024 * MiB;
+
+} // namespace odbsim
+
+#endif // ODBSIM_SIM_TYPES_HH

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Tests for the Table 3/4 CPI decomposition.
+ */
+
+#include <gtest/gtest.h>
+
+#include "analysis/cpi_breakdown.hh"
+
+namespace
+{
+
+using namespace odbsim;
+using namespace odbsim::analysis;
+using perfmon::SystemCounters;
+
+SystemCounters
+syntheticCounters()
+{
+    SystemCounters c;
+    c.instructions = {8e8, 2e8};        // 1e9 instructions.
+    c.cycles = {3.2e9, 0.8e9};          // CPI 4.0.
+    c.branchMispredicts = {3.2e6, 0.8e6};
+    c.tlbMisses = {2.8e6, 0.7e6};
+    c.tcMisses = {6.4e6, 1.6e6};
+    c.l2Misses = {1.6e7, 4e6};
+    c.l3Misses = {8e6, 2e6};
+    c.ioqCycles = 102.0;
+    return c;
+}
+
+TEST(CpiBreakdown, ComponentsFollowTable4)
+{
+    const CpiComponents b =
+        computeCpiBreakdown(syntheticCounters(), 102.0);
+    EXPECT_DOUBLE_EQ(b.inst, 0.5);
+    EXPECT_DOUBLE_EQ(b.branch, 4e6 * 20 / 1e9);
+    EXPECT_DOUBLE_EQ(b.tlb, 3.5e6 * 20 / 1e9);
+    EXPECT_DOUBLE_EQ(b.tc, 8e6 * 20 / 1e9);
+    EXPECT_DOUBLE_EQ(b.l2, (2e7 - 1e7) * 16 / 1e9);
+    EXPECT_DOUBLE_EQ(b.l3, 1e7 * 300 / 1e9);
+    EXPECT_DOUBLE_EQ(b.total(), 4.0);
+}
+
+TEST(CpiBreakdown, OtherIsResidual)
+{
+    const CpiComponents b =
+        computeCpiBreakdown(syntheticCounters(), 102.0);
+    EXPECT_NEAR(b.other, 4.0 - b.computed(), 1e-12);
+}
+
+TEST(CpiBreakdown, IoqExcessInflatesL3Component)
+{
+    SystemCounters c = syntheticCounters();
+    c.ioqCycles = 142.0; // 40 cycles of queueing above the 1P base.
+    const CpiComponents loaded = computeCpiBreakdown(c, 102.0);
+    const CpiComponents base =
+        computeCpiBreakdown(syntheticCounters(), 102.0);
+    EXPECT_DOUBLE_EQ(loaded.l3, 1e7 * 340 / 1e9);
+    EXPECT_GT(loaded.l3, base.l3);
+}
+
+TEST(CpiBreakdown, IoqBelowBaseClampsToZeroExcess)
+{
+    SystemCounters c = syntheticCounters();
+    c.ioqCycles = 90.0;
+    const CpiComponents b = computeCpiBreakdown(c, 102.0);
+    EXPECT_DOUBLE_EQ(b.l3, 1e7 * 300 / 1e9);
+}
+
+TEST(CpiBreakdown, L3ShareMatchesPaperScale)
+{
+    // With the synthetic numbers the L3 miss component is the largest
+    // single contributor, as the paper reports (~60%).
+    const CpiComponents b =
+        computeCpiBreakdown(syntheticCounters(), 102.0);
+    EXPECT_GT(b.l3Share(), 0.5);
+    EXPECT_LT(b.l3Share(), 0.9);
+}
+
+TEST(CpiBreakdown, EmptyCountersYieldZero)
+{
+    const CpiComponents b = computeCpiBreakdown(SystemCounters{}, 102.0);
+    EXPECT_DOUBLE_EQ(b.total(), 0.0);
+    EXPECT_DOUBLE_EQ(b.l3Share(), 0.0);
+}
+
+TEST(CpiBreakdown, L2BelowL3ClampsToZero)
+{
+    // Malformed counters (L3 > L2) must not produce a negative L2
+    // component.
+    SystemCounters c = syntheticCounters();
+    c.l2Misses = {1e6, 1e6};
+    const CpiComponents b = computeCpiBreakdown(c, 102.0);
+    EXPECT_DOUBLE_EQ(b.l2, 0.0);
+}
+
+TEST(CpiBreakdown, CustomStallCosts)
+{
+    cpu::StallCosts costs;
+    costs.l3MissCycles = 150.0;
+    const CpiComponents b =
+        computeCpiBreakdown(syntheticCounters(), 102.0, costs);
+    EXPECT_DOUBLE_EQ(b.l3, 1e7 * 150 / 1e9);
+}
+
+} // namespace

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Tests for the iron law of database performance (Section 3.4).
+ */
+
+#include <gtest/gtest.h>
+
+#include "analysis/iron_law.hh"
+
+namespace
+{
+
+using namespace odbsim::analysis;
+
+TEST(IronLaw, BasicThroughput)
+{
+    // 1 CPU at 1.6 GHz, 1.6M instructions per txn at CPI 1:
+    // exactly 1000 TPS.
+    EXPECT_DOUBLE_EQ(ironLawTps(1, 1.6e9, 1.6e6, 1.0), 1000.0);
+}
+
+TEST(IronLaw, ScalesLinearlyWithProcessors)
+{
+    const double one = ironLawTps(1, 1.6e9, 1.3e6, 4.0);
+    EXPECT_DOUBLE_EQ(ironLawTps(2, 1.6e9, 1.3e6, 4.0), 2 * one);
+    EXPECT_DOUBLE_EQ(ironLawTps(4, 1.6e9, 1.3e6, 4.0), 4 * one);
+}
+
+TEST(IronLaw, InverseInIpxAndCpi)
+{
+    const double base = ironLawTps(4, 1.6e9, 1.0e6, 2.0);
+    EXPECT_DOUBLE_EQ(ironLawTps(4, 1.6e9, 2.0e6, 2.0), base / 2);
+    EXPECT_DOUBLE_EQ(ironLawTps(4, 1.6e9, 1.0e6, 4.0), base / 2);
+    EXPECT_DOUBLE_EQ(ironLawTps(4, 1.6e9, 2.0e6, 4.0), base / 4);
+}
+
+TEST(IronLaw, DegenerateInputsYieldZero)
+{
+    EXPECT_DOUBLE_EQ(ironLawTps(4, 1.6e9, 0.0, 2.0), 0.0);
+    EXPECT_DOUBLE_EQ(ironLawTps(4, 1.6e9, 1e6, 0.0), 0.0);
+}
+
+TEST(IronLaw, IpxInversionRoundTrips)
+{
+    const double tps = ironLawTps(4, 1.6e9, 1.3e6, 3.7);
+    EXPECT_NEAR(ironLawIpx(4, 1.6e9, tps, 3.7), 1.3e6, 1e-3);
+}
+
+TEST(IronLaw, UtilizationScalesDelivery)
+{
+    const double full = ironLawTps(4, 1.6e9, 1.3e6, 4.0);
+    EXPECT_DOUBLE_EQ(
+        ironLawTpsAtUtilization(4, 1.6e9, 1.3e6, 4.0, 0.9),
+        0.9 * full);
+}
+
+TEST(IronLaw, PaperScaleSanity)
+{
+    // The study's machine: 4 x 1.6 GHz, ~1M instr/txn, CPI ~4 at 90%
+    // utilization -> throughput in the hundreds-to-low-thousands TPS.
+    const double tps =
+        ironLawTpsAtUtilization(4, 1.6e9, 1.0e6, 4.0, 0.9);
+    EXPECT_GT(tps, 500.0);
+    EXPECT_LT(tps, 3000.0);
+}
+
+} // namespace

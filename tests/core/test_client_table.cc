@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Tests for the paper's Table 1 client counts and interpolation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/client_table.hh"
+
+namespace
+{
+
+using odbsim::core::paperClients;
+
+TEST(ClientTable, ExactPaperValues)
+{
+    // The rows of Table 1, verbatim.
+    EXPECT_EQ(paperClients(10, 1), 8u);
+    EXPECT_EQ(paperClients(10, 2), 10u);
+    EXPECT_EQ(paperClients(10, 4), 10u);
+    EXPECT_EQ(paperClients(50, 1), 8u);
+    EXPECT_EQ(paperClients(50, 2), 16u);
+    EXPECT_EQ(paperClients(50, 4), 32u);
+    EXPECT_EQ(paperClients(100, 1), 6u);
+    EXPECT_EQ(paperClients(100, 2), 16u);
+    EXPECT_EQ(paperClients(100, 4), 48u);
+    EXPECT_EQ(paperClients(500, 1), 12u);
+    EXPECT_EQ(paperClients(500, 2), 25u);
+    EXPECT_EQ(paperClients(500, 4), 56u);
+    EXPECT_EQ(paperClients(800, 1), 13u);
+    EXPECT_EQ(paperClients(800, 2), 36u);
+    EXPECT_EQ(paperClients(800, 4), 64u);
+}
+
+TEST(ClientTable, InterpolatesBetweenRows)
+{
+    // Midway between 100 W (48) and 500 W (56) at 4P: 300 W -> 52.
+    EXPECT_EQ(paperClients(300, 4), 52u);
+    // Midway between 10 (10) and 50 (32) at 4P: 30 W -> 21.
+    EXPECT_EQ(paperClients(30, 4), 21u);
+}
+
+TEST(ClientTable, ClampsBelowFirstRow)
+{
+    EXPECT_EQ(paperClients(1, 4), 10u);
+    EXPECT_EQ(paperClients(5, 1), 8u);
+}
+
+TEST(ClientTable, ExtrapolatesBeyondLastRow)
+{
+    // 1200 W at 4P: along the 500->800 segment, 64 + (400/300)*8 ≈ 75.
+    const unsigned c = paperClients(1200, 4);
+    EXPECT_GT(c, 64u);
+    EXPECT_LE(c, 96u);
+}
+
+TEST(ClientTable, ProcessorColumnsSnap)
+{
+    EXPECT_EQ(paperClients(50, 3), paperClients(50, 4));
+    EXPECT_EQ(paperClients(50, 8), paperClients(50, 4));
+    EXPECT_EQ(paperClients(50, 0), paperClients(50, 1));
+}
+
+TEST(ClientTable, MonotoneAtLargeScaleFor4P)
+{
+    // Beyond 100 W the paper's 4P column grows with W.
+    unsigned prev = paperClients(100, 4);
+    for (unsigned w = 150; w <= 800; w += 50) {
+        const unsigned c = paperClients(w, 4);
+        EXPECT_GE(c, prev);
+        prev = c;
+    }
+}
+
+} // namespace

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Tests for the client auto-tuner (the Table 1 methodology).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/client_tuner.hh"
+
+namespace
+{
+
+using namespace odbsim;
+using namespace odbsim::core;
+
+RunKnobs
+trialKnobs()
+{
+    RunKnobs k;
+    k.warmup = ticksFromSeconds(0.08);
+    k.measure = ticksFromSeconds(0.25);
+    return k;
+}
+
+TEST(ClientTuner, ReachesTargetOnCachedSetup)
+{
+    OltpConfiguration cfg;
+    cfg.warehouses = 10;
+    cfg.processors = 1;
+    const TunedClients t =
+        ClientTuner::tune(cfg, 0.90, 64, trialKnobs());
+    EXPECT_GE(t.achievedUtil, 0.90);
+    EXPECT_FALSE(t.ioBound);
+    // Paper found 8 clients at (10 W, 1P); small machines saturate
+    // with a handful of clients.
+    EXPECT_LE(t.clients, 16u);
+    EXPECT_GE(t.trials, 1u);
+}
+
+TEST(ClientTuner, MoreProcessorsNeedMoreClients)
+{
+    OltpConfiguration one, four;
+    one.warehouses = 10;
+    one.processors = 1;
+    four.warehouses = 10;
+    four.processors = 4;
+    const TunedClients t1 =
+        ClientTuner::tune(one, 0.90, 64, trialKnobs());
+    const TunedClients t4 =
+        ClientTuner::tune(four, 0.90, 64, trialKnobs());
+    EXPECT_GE(t4.clients, t1.clients);
+}
+
+TEST(ClientTuner, CeilingMarksIoBound)
+{
+    OltpConfiguration cfg;
+    cfg.warehouses = 100;
+    cfg.processors = 4;
+    // An absurdly low ceiling cannot reach 90%.
+    const TunedClients t = ClientTuner::tune(cfg, 0.90, 4, trialKnobs());
+    EXPECT_TRUE(t.ioBound || t.achievedUtil >= 0.90);
+    EXPECT_LE(t.clients, 4u);
+}
+
+TEST(ClientTuner, TrivialTargetSatisfiedImmediately)
+{
+    OltpConfiguration cfg;
+    cfg.warehouses = 10;
+    cfg.processors = 1;
+    const TunedClients t =
+        ClientTuner::tune(cfg, 0.10, 64, trialKnobs());
+    EXPECT_EQ(t.trials, 1u);
+    EXPECT_GE(t.achievedUtil, 0.10);
+}
+
+} // namespace

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Integration tests for the experiment runner — one full measured
+ * configuration, checked for internal consistency.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/experiment.hh"
+
+namespace
+{
+
+using namespace odbsim;
+using namespace odbsim::core;
+
+RunKnobs
+fastKnobs()
+{
+    RunKnobs k;
+    k.warmup = ticksFromSeconds(0.1);
+    k.measure = ticksFromSeconds(0.3);
+    return k;
+}
+
+OltpConfiguration
+smallCfg()
+{
+    OltpConfiguration cfg;
+    cfg.warehouses = 10;
+    cfg.processors = 2;
+    return cfg;
+}
+
+TEST(ExperimentRunner, ProducesConsistentMetrics)
+{
+    const RunResult r = ExperimentRunner::run(smallCfg(), fastKnobs());
+    EXPECT_EQ(r.warehouses, 10u);
+    EXPECT_EQ(r.processors, 2u);
+    EXPECT_EQ(r.clients, 10u); // Table 1 value for (10 W, 2P).
+    EXPECT_GT(r.txnsCommitted, 50u);
+    EXPECT_GT(r.tps, 0.0);
+    EXPECT_GT(r.cpuUtil, 0.5);
+    EXPECT_LE(r.cpuUtil, 1.0);
+    EXPECT_GT(r.cpi, 1.0);
+    EXPECT_LT(r.cpi, 20.0);
+    EXPECT_GT(r.ipx, 3e5);
+    EXPECT_LT(r.ipx, 1e7);
+    EXPECT_GT(r.mpi, 0.0);
+    EXPECT_GT(r.bufferHitRatio, 0.9); // Cached setup.
+}
+
+TEST(ExperimentRunner, IronLawSelfConsistency)
+{
+    // The measured TPS must equal the iron-law prediction from the
+    // measured IPX/CPI/utilization (the model is exact by
+    // construction — this validates the accounting plumbing).
+    const RunResult r = ExperimentRunner::run(smallCfg(), fastKnobs());
+    EXPECT_NEAR(r.tps, r.ironLawTps, 0.05 * r.tps);
+}
+
+TEST(ExperimentRunner, ModeSplitsAddUp)
+{
+    const RunResult r = ExperimentRunner::run(smallCfg(), fastKnobs());
+    EXPECT_NEAR(r.ipx, r.ipxUser + r.ipxOs, 1e-6 * r.ipx);
+    EXPECT_GT(r.osInstrShare, 0.0);
+    EXPECT_LT(r.osInstrShare, 0.5);
+    EXPECT_GT(r.osCycleShare, 0.0);
+    EXPECT_LT(r.osCycleShare, 0.5);
+}
+
+TEST(ExperimentRunner, BreakdownTotalsMatchCpi)
+{
+    const RunResult r = ExperimentRunner::run(smallCfg(), fastKnobs());
+    EXPECT_NEAR(r.breakdown.total(), r.cpi, 1e-9);
+    EXPECT_GT(r.breakdown.l3Share(), 0.3); // L3 dominates (paper ~60%).
+    EXPECT_DOUBLE_EQ(r.breakdown.inst, 0.5);
+}
+
+TEST(ExperimentRunner, ExplicitClientCountRespected)
+{
+    OltpConfiguration cfg = smallCfg();
+    cfg.clients = 3;
+    const RunResult r = ExperimentRunner::run(cfg, fastKnobs());
+    EXPECT_EQ(r.clients, 3u);
+}
+
+TEST(ExperimentRunner, DeterministicForSeed)
+{
+    const RunResult a = ExperimentRunner::run(smallCfg(), fastKnobs());
+    const RunResult b = ExperimentRunner::run(smallCfg(), fastKnobs());
+    EXPECT_EQ(a.txnsCommitted, b.txnsCommitted);
+    EXPECT_DOUBLE_EQ(a.cpi, b.cpi);
+    EXPECT_DOUBLE_EQ(a.mpi, b.mpi);
+}
+
+TEST(ExperimentRunner, SeedChangesPerturbOnlySlightly)
+{
+    RunKnobs k1 = fastKnobs(), k2 = fastKnobs();
+    k2.seed = 4242;
+    const RunResult a = ExperimentRunner::run(smallCfg(), k1);
+    const RunResult b = ExperimentRunner::run(smallCfg(), k2);
+    EXPECT_NEAR(a.cpi, b.cpi, 0.2 * a.cpi);
+    EXPECT_NEAR(a.tps, b.tps, 0.2 * a.tps);
+}
+
+TEST(ExperimentRunner, Itanium2MachineRuns)
+{
+    OltpConfiguration cfg = smallCfg();
+    cfg.machine = MachineKind::Itanium2Quad;
+    const RunResult r = ExperimentRunner::run(cfg, fastKnobs());
+    EXPECT_GT(r.tps, 0.0);
+    EXPECT_GT(r.cpi, 0.5);
+}
+
+TEST(ExperimentRunner, MoreProcessorsMoreThroughputWhenCached)
+{
+    RunKnobs k = fastKnobs();
+    OltpConfiguration one = smallCfg(), four = smallCfg();
+    one.processors = 1;
+    four.processors = 4;
+    const RunResult r1 = ExperimentRunner::run(one, k);
+    const RunResult r4 = ExperimentRunner::run(four, k);
+    EXPECT_GT(r4.tps, 2.0 * r1.tps);
+}
+
+} // namespace

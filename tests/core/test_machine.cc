@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Tests for the machine presets (Section 3.3 Xeon MP, Section 6.3
+ * Itanium2).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/machine.hh"
+
+namespace
+{
+
+using namespace odbsim;
+using namespace odbsim::core;
+
+TEST(Machine, XeonPresetMatchesPaperSection33)
+{
+    const MachinePreset m = makeMachine(MachineKind::XeonQuadMp, 4);
+    EXPECT_EQ(m.sys.numCpus, 4u);
+    EXPECT_DOUBLE_EQ(m.sys.core.freqHz, 1.6e9);
+    EXPECT_EQ(m.sys.hierarchy.l2.sizeBytes, 256 * KiB);
+    EXPECT_EQ(m.sys.hierarchy.l3.sizeBytes, 1 * MiB);
+    EXPECT_EQ(m.sys.disks.dataDisks + m.sys.disks.logDisks, 26u);
+    EXPECT_DOUBLE_EQ(m.sys.bus.baseTransactionCycles, 102.0);
+    EXPECT_NEAR(m.cacheWarehouseEquivalents, 28.7, 1e-9);
+}
+
+TEST(Machine, Itanium2PresetMatchesPaperSection63)
+{
+    const MachinePreset m = makeMachine(MachineKind::Itanium2Quad, 4);
+    EXPECT_DOUBLE_EQ(m.sys.core.freqHz, 1.5e9);
+    EXPECT_EQ(m.sys.hierarchy.l3.sizeBytes, 3 * MiB);
+    // +50% bus bandwidth -> two-thirds the line occupancy.
+    const MachinePreset x = makeMachine(MachineKind::XeonQuadMp, 4);
+    EXPECT_NEAR(m.sys.bus.lineOccupancyCycles,
+                x.sys.bus.lineOccupancyCycles / 1.5, 1.0);
+    // 34 disks and a much larger memory.
+    EXPECT_EQ(m.sys.disks.dataDisks + m.sys.disks.logDisks, 34u);
+    EXPECT_GT(m.cacheWarehouseEquivalents,
+              x.cacheWarehouseEquivalents * 3);
+}
+
+TEST(Machine, ProcessorCountPropagates)
+{
+    for (unsigned p : {1u, 2u, 4u}) {
+        const MachinePreset m = makeMachine(MachineKind::XeonQuadMp, p);
+        EXPECT_EQ(m.sys.numCpus, p);
+    }
+}
+
+TEST(Machine, SamplePeriodAndSeedPropagate)
+{
+    const MachinePreset m =
+        makeMachine(MachineKind::XeonQuadMp, 2, 8, 777);
+    EXPECT_EQ(m.sys.core.samplePeriod, 8u);
+    EXPECT_EQ(m.sys.seed, 777u);
+}
+
+TEST(Machine, NamesAreStable)
+{
+    EXPECT_STREQ(toString(MachineKind::XeonQuadMp), "xeon-quad-mp");
+    EXPECT_STREQ(toString(MachineKind::Itanium2Quad), "itanium2-quad");
+}
+
+TEST(Machine, RejectsAbsurdProcessorCounts)
+{
+    EXPECT_DEATH({ makeMachine(MachineKind::XeonQuadMp, 0); },
+                 "unsupported");
+    EXPECT_DEATH({ makeMachine(MachineKind::XeonQuadMp, 64); },
+                 "unsupported");
+}
+
+} // namespace

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Tests for the representative-configuration selector (Section 6.2),
+ * on synthetic study results.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/representative.hh"
+
+namespace
+{
+
+using namespace odbsim;
+using namespace odbsim::core;
+
+/** Build a synthetic study with known CPI/MPI pivots. */
+StudyResult
+syntheticStudy(double pivot_w)
+{
+    StudyResult study;
+    for (unsigned p : {1u, 2u, 4u}) {
+        StudySeries s;
+        s.processors = p;
+        for (double w : {10., 25., 50., 75., 100., 150., 200., 300.,
+                         400., 600., 800.}) {
+            RunResult r;
+            r.warehouses = static_cast<unsigned>(w);
+            r.processors = p;
+            const double base = 2.0 + 0.1 * p;
+            if (w < pivot_w) {
+                r.cpi = base + 0.02 * w;
+                r.mpi = 0.004 + 0.0001 * w;
+            } else {
+                r.cpi = base + 0.02 * pivot_w + 0.001 * (w - pivot_w);
+                r.mpi = 0.004 + 0.0001 * pivot_w +
+                        0.000005 * (w - pivot_w);
+            }
+            s.points.push_back(r);
+        }
+        study.series.push_back(std::move(s));
+    }
+    return study;
+}
+
+TEST(Representative, RecoversPivotsPerProcessorCount)
+{
+    const StudyResult study = syntheticStudy(120.0);
+    const Recommendation rec = RepresentativeConfigSelector::select(study);
+    ASSERT_EQ(rec.pivots.size(), 3u);
+    for (const PivotRow &row : rec.pivots) {
+        EXPECT_NEAR(row.cpiPivotW, 120.0, 40.0);
+        EXPECT_NEAR(row.mpiPivotW, 120.0, 40.0);
+    }
+}
+
+TEST(Representative, RecommendationPadsAndRounds)
+{
+    const StudyResult study = syntheticStudy(120.0);
+    const Recommendation rec =
+        RepresentativeConfigSelector::select(study, 1.3, 50);
+    EXPECT_GE(rec.recommendedW,
+              static_cast<unsigned>(rec.maxPivotW));
+    EXPECT_EQ(rec.recommendedW % 50, 0u);
+    // For pivots near 120, the paper proposes ~200 W.
+    EXPECT_GE(rec.recommendedW, 150u);
+    EXPECT_LE(rec.recommendedW, 250u);
+}
+
+TEST(Representative, MaxPivotIsMaxOverRows)
+{
+    const StudyResult study = syntheticStudy(100.0);
+    const Recommendation rec = RepresentativeConfigSelector::select(study);
+    for (const PivotRow &row : rec.pivots) {
+        EXPECT_LE(row.cpiPivotW, rec.maxPivotW + 1e-9);
+        EXPECT_LE(row.mpiPivotW, rec.maxPivotW + 1e-9);
+    }
+}
+
+TEST(Representative, GranularityOne)
+{
+    const StudyResult study = syntheticStudy(100.0);
+    const Recommendation rec =
+        RepresentativeConfigSelector::select(study, 1.0, 1);
+    EXPECT_NEAR(static_cast<double>(rec.recommendedW), rec.maxPivotW,
+                1.0);
+}
+
+TEST(Representative, ForProcessorsLookup)
+{
+    const StudyResult study = syntheticStudy(100.0);
+    EXPECT_EQ(study.forProcessors(2).processors, 2u);
+    EXPECT_EQ(study.forProcessors(4).points.size(), 11u);
+}
+
+TEST(Representative, ScaledLineExtrapolates)
+{
+    const StudyResult study = syntheticStudy(120.0);
+    const auto fit = study.forProcessors(4).cpiFit();
+    // Extrapolate to 1600 W along the scaled line; compare with the
+    // synthetic generator's value.
+    const double expect = 2.4 + 0.02 * 120.0 + 0.001 * (1600.0 - 120.0);
+    EXPECT_NEAR(analysis::extrapolateScaled(fit, 1600.0), expect,
+                0.1 * expect);
+}
+
+} // namespace

@@ -1,0 +1,236 @@
+/**
+ * @file
+ * End-to-end scaling-study integration test: a reduced W x P sweep on
+ * the real stack, asserting the qualitative reproduction targets of
+ * DESIGN.md Section 4 (monotonicities, regions, pivot band).
+ *
+ * This is the most expensive test in the suite (~10 s); it is the
+ * in-tree guarantee that the paper's structure survives refactoring.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/representative.hh"
+#include "core/scaling_study.hh"
+
+namespace
+{
+
+using namespace odbsim;
+using namespace odbsim::core;
+
+class ScalingIntegration : public ::testing::Test
+{
+  protected:
+    static const StudyResult &
+    study()
+    {
+        static const StudyResult s = [] {
+            StudyConfig cfg;
+            cfg.warehouses = {10, 25, 50, 100, 200, 400, 800};
+            cfg.processors = {1, 4};
+            cfg.knobs.warmup = ticksFromSeconds(0.2);
+            cfg.knobs.measure = ticksFromSeconds(0.8);
+            return ScalingStudy::run(cfg);
+        }();
+        return s;
+    }
+
+    static const RunResult &
+    at(unsigned p, unsigned w)
+    {
+        for (const auto &r : study().forProcessors(p).points) {
+            if (r.warehouses == w)
+                return r;
+        }
+        throw std::runtime_error("missing point");
+    }
+};
+
+TEST_F(ScalingIntegration, TpsHighestWhenCached)
+{
+    for (unsigned p : {1u, 4u}) {
+        const double cached =
+            std::max(at(p, 10).tps, at(p, 25).tps);
+        EXPECT_GT(cached, at(p, 400).tps) << p << "P";
+        EXPECT_GT(cached, at(p, 800).tps) << p << "P";
+    }
+}
+
+TEST_F(ScalingIntegration, MoreProcessorsMoreTps)
+{
+    for (unsigned w : {10u, 100u, 800u})
+        EXPECT_GT(at(4, w).tps, at(1, w).tps) << w << "W";
+}
+
+TEST_F(ScalingIntegration, OsShareGrowsWithW)
+{
+    for (unsigned p : {1u, 4u}) {
+        EXPECT_LT(at(p, 10).osCycleShare, 0.10) << p << "P";
+        EXPECT_GT(at(p, 800).osCycleShare, at(p, 10).osCycleShare);
+        EXPECT_GT(at(p, 800).osCycleShare, 0.12) << p << "P";
+    }
+}
+
+TEST_F(ScalingIntegration, IpxGrowsUserStaysFlat)
+{
+    for (unsigned p : {1u, 4u}) {
+        EXPECT_GT(at(p, 800).ipx, 1.1 * at(p, 10).ipx) << p << "P";
+        EXPECT_GT(at(p, 800).ipxOs, 2.0 * at(p, 10).ipxOs) << p << "P";
+        // User IPX roughly flat (within 25%).
+        EXPECT_NEAR(at(p, 800).ipxUser, at(p, 10).ipxUser,
+                    0.25 * at(p, 10).ipxUser)
+            << p << "P";
+    }
+}
+
+TEST_F(ScalingIntegration, CachedSetupsHaveNegligibleReads)
+{
+    for (unsigned p : {1u, 4u}) {
+        EXPECT_LT(at(p, 10).diskReadKbPerTxn, 8.0) << p << "P";
+        EXPECT_LT(at(p, 25).diskReadKbPerTxn, 10.0) << p << "P";
+    }
+}
+
+TEST_F(ScalingIntegration, ReadsGrowBeyondTheCacheCrossover)
+{
+    for (unsigned p : {1u, 4u}) {
+        EXPECT_GT(at(p, 200).diskReadKbPerTxn,
+                  2.0 * at(p, 25).diskReadKbPerTxn + 1.0)
+            << p << "P";
+        EXPECT_GT(at(p, 800).diskReadKbPerTxn,
+                  at(p, 100).diskReadKbPerTxn)
+            << p << "P";
+    }
+}
+
+TEST_F(ScalingIntegration, LogVolumeFlatNearSixKb)
+{
+    for (unsigned p : {1u, 4u}) {
+        for (unsigned w : {10u, 100u, 800u}) {
+            EXPECT_GT(at(p, w).logKbPerTxn, 3.5) << p << "P " << w;
+            EXPECT_LT(at(p, w).logKbPerTxn, 9.0) << p << "P " << w;
+        }
+    }
+}
+
+TEST_F(ScalingIntegration, WritebackAppearsOnlyUnderPressure)
+{
+    for (unsigned p : {1u, 4u}) {
+        EXPECT_LT(at(p, 10).diskWriteKbPerTxn, 2.0) << p << "P";
+        EXPECT_GT(at(p, 800).diskWriteKbPerTxn, 2.0) << p << "P";
+    }
+}
+
+TEST_F(ScalingIntegration, ContextSwitchesTrackDiskReads)
+{
+    for (unsigned p : {1u, 4u}) {
+        EXPECT_GT(at(p, 800).ctxPerTxn, 2.0 * at(p, 25).ctxPerTxn)
+            << p << "P";
+    }
+}
+
+TEST_F(ScalingIntegration, CpiAndMpiGrowThenFlatten)
+{
+    for (unsigned p : {1u, 4u}) {
+        // Growth from cached to scaled.
+        EXPECT_GT(at(p, 800).cpi, 1.1 * at(p, 10).cpi) << p << "P";
+        EXPECT_GT(at(p, 800).mpi, 1.15 * at(p, 10).mpi) << p << "P";
+        // Flattening: the early rise (10->100) dominates the late
+        // rise per warehouse (100->800).
+        const double early = (at(p, 100).cpi - at(p, 10).cpi) / 90.0;
+        const double late = (at(p, 800).cpi - at(p, 100).cpi) / 700.0;
+        EXPECT_GT(early, 2.0 * late) << p << "P";
+    }
+}
+
+TEST_F(ScalingIntegration, MpiDoesNotGrowWithProcessors)
+{
+    // Paper Section 5.2: coherence does not inflate MPI with P.
+    for (unsigned w : {10u, 100u, 800u}) {
+        EXPECT_NEAR(at(4, w).mpi, at(1, w).mpi, 0.25 * at(1, w).mpi)
+            << w << "W";
+    }
+}
+
+TEST_F(ScalingIntegration, CoherenceShareOfMissesIsSmall)
+{
+    for (unsigned w : {10u, 100u, 800u})
+        EXPECT_LT(at(4, w).coherenceShareOfL3, 0.10) << w << "W";
+}
+
+TEST_F(ScalingIntegration, CpiGrowsWithProcessors)
+{
+    for (unsigned w : {10u, 100u})
+        EXPECT_GT(at(4, w).cpi, at(1, w).cpi) << w << "W";
+}
+
+TEST_F(ScalingIntegration, BusBusierWithMoreProcessors)
+{
+    for (unsigned w : {10u, 100u}) {
+        EXPECT_GT(at(4, w).busUtil, 2.0 * at(1, w).busUtil) << w << "W";
+        EXPECT_GT(at(4, w).ioqCycles, at(1, w).ioqCycles) << w << "W";
+    }
+    // 1P IOQ stays near the unloaded 102 cycles at every W.
+    for (unsigned w : {10u, 100u, 800u})
+        EXPECT_NEAR(at(1, w).ioqCycles, 102.0, 12.0) << w << "W";
+}
+
+TEST_F(ScalingIntegration, L3MissesDominateCpi)
+{
+    for (unsigned p : {1u, 4u}) {
+        for (unsigned w : {100u, 800u}) {
+            EXPECT_GT(at(p, w).breakdown.l3Share(), 0.4)
+                << p << "P " << w;
+        }
+    }
+}
+
+TEST_F(ScalingIntegration, FlatComponentsStayFlat)
+{
+    // Branch/TLB/TC contributions barely move across W (Figure 12).
+    for (unsigned p : {1u, 4u}) {
+        const auto &a = at(p, 10).breakdown;
+        const auto &b = at(p, 800).breakdown;
+        EXPECT_NEAR(a.branch, b.branch, 0.15 * a.branch) << p << "P";
+        EXPECT_NEAR(a.tlb, b.tlb, 0.15 * a.tlb) << p << "P";
+        EXPECT_NEAR(a.tc, b.tc, 0.4 * std::max(a.tc, 0.01)) << p << "P";
+    }
+}
+
+TEST_F(ScalingIntegration, PivotsInPaperBand)
+{
+    const Recommendation rec =
+        RepresentativeConfigSelector::select(study());
+    for (const PivotRow &row : rec.pivots) {
+        // Paper Table 5: all pivots below 150 warehouses.
+        EXPECT_GT(row.cpiPivotW, 20.0) << row.processors << "P";
+        EXPECT_LT(row.cpiPivotW, 160.0) << row.processors << "P";
+        EXPECT_GT(row.mpiPivotW, 20.0) << row.processors << "P";
+        EXPECT_LT(row.mpiPivotW, 160.0) << row.processors << "P";
+    }
+    EXPECT_GE(rec.recommendedW, 50u);
+    EXPECT_LE(rec.recommendedW, 300u);
+}
+
+TEST_F(ScalingIntegration, ScaledLineExtrapolatesLargeSetups)
+{
+    // Section 6.2: behaviour at 800 W predicted from the scaled-region
+    // line fit on <= 400 W within ~12%.
+    for (unsigned p : {1u, 4u}) {
+        const auto &series = study().forProcessors(p);
+        std::vector<double> xs, ys;
+        for (const auto &r : series.points) {
+            if (r.warehouses <= 400) {
+                xs.push_back(r.warehouses);
+                ys.push_back(r.cpi);
+            }
+        }
+        const auto fit = analysis::fitTwoSegment(xs, ys);
+        const double predicted = analysis::extrapolateScaled(fit, 800.0);
+        EXPECT_NEAR(predicted, at(p, 800).cpi, 0.12 * at(p, 800).cpi)
+            << p << "P";
+    }
+}
+
+} // namespace

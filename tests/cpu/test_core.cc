@@ -1,0 +1,251 @@
+/**
+ * @file
+ * Tests for the CPU core timing model: the statistical Table 3
+ * components, stream sampling, exact-reference set sampling, counter
+ * attribution and determinism.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cpu/core.hh"
+
+namespace
+{
+
+using namespace odbsim;
+using namespace odbsim::cpu;
+
+constexpr std::uint32_t S = 16;
+
+mem::HierarchyConfig
+smallHier()
+{
+    mem::HierarchyConfig h;
+    h.l2 = {16 * KiB, 4, 64};
+    h.l3 = {64 * KiB, 8, 64};
+    return h;
+}
+
+mem::BusConfig
+quietBus()
+{
+    mem::BusConfig b;
+    b.windowTicks = tickPerSec;
+    return b;
+}
+
+CoreConfig
+baseCfg()
+{
+    CoreConfig c;
+    c.samplePeriod = S;
+    return c;
+}
+
+struct Rig
+{
+    mem::MemorySystem ms;
+    CpuCore core;
+
+    explicit Rig(const CoreConfig &cfg = baseCfg())
+        : ms(1, smallHier(), quietBus(), cfg.samplePeriod),
+          core(0, cfg, ms, 1234)
+    {}
+};
+
+WorkItem
+pureCompute(std::uint64_t instr)
+{
+    WorkItem wi;
+    wi.instructions = instr;
+    wi.codeBase = 0x1000'0000;
+    wi.codeBytes = 64; // One line: negligible code misses after warm.
+    return wi;
+}
+
+TEST(CpuCore, BaseCpiFloor)
+{
+    // With no memory streams at all the cycle count reduces to the
+    // statistical components: 0.5 + branch + TLB per instruction.
+    CoreConfig cfg = baseCfg();
+    cfg.codeL2RefsPerInstr = 0.0;
+    cfg.dataL2RefsPerInstr = 0.0;
+    Rig rig(cfg);
+    const auto res = rig.core.execute(pureCompute(1000000), 0);
+    const double expect =
+        1e6 * (0.5 + 0.20 * 0.02 * 20.0 + 0.0035 * 20.0);
+    EXPECT_NEAR(res.cycles, expect, 1.0);
+}
+
+TEST(CpuCore, CountersAccumulatePerMode)
+{
+    Rig rig;
+    WorkItem wi = pureCompute(50000);
+    wi.mode = mem::ExecMode::Os;
+    rig.core.execute(wi, 0);
+    const auto &os = rig.core.counters()[mem::ExecMode::Os];
+    const auto &user = rig.core.counters()[mem::ExecMode::User];
+    EXPECT_DOUBLE_EQ(os.instructions, 50000.0);
+    EXPECT_DOUBLE_EQ(user.instructions, 0.0);
+    EXPECT_GT(os.cycles, 0.0);
+    EXPECT_NEAR(os.branchMispredicts, 50000 * 0.004, 1e-9);
+    EXPECT_NEAR(os.tlbMisses, 50000 * 0.0035, 1e-9);
+}
+
+TEST(CpuCore, CyclesToTicksUsesClock)
+{
+    Rig rig;
+    const auto res = rig.core.execute(pureCompute(16000), 0);
+    // 1.6 GHz -> 625 ps per cycle.
+    EXPECT_NEAR(static_cast<double>(res.ticks), res.cycles * 625.0, 1.0);
+}
+
+TEST(CpuCore, ExtraCyclesLandInOther)
+{
+    CoreConfig cfg = baseCfg();
+    cfg.codeL2RefsPerInstr = 0.0;
+    cfg.dataL2RefsPerInstr = 0.0;
+    Rig rig(cfg);
+    WorkItem wi = pureCompute(1000);
+    wi.extraCycles = 777.0;
+    const auto res = rig.core.execute(wi, 0);
+    const auto &ctr = rig.core.counters()[mem::ExecMode::User];
+    EXPECT_DOUBLE_EQ(ctr.otherCycles, 777.0);
+    EXPECT_GT(res.cycles, 777.0);
+}
+
+TEST(CpuCore, ExactRefsTouchSampledLinesOnce)
+{
+    CoreConfig cfg = baseCfg();
+    cfg.codeL2RefsPerInstr = 0.0;
+    cfg.dataL2RefsPerInstr = 0.0;
+    Rig rig(cfg);
+    WorkItem wi = pureCompute(100);
+    // A span covering exactly 2 sampled lines (2 * 16 * 64 bytes).
+    wi.addRef(0, 2 * S * 64, false);
+    rig.core.execute(wi, 0);
+    const auto &mc = rig.ms.cpu(0).counters(mem::ExecMode::User);
+    EXPECT_EQ(mc.dataReads, 2 * S);
+}
+
+TEST(CpuCore, ExactRefOutsideSampledGridIsSkipped)
+{
+    CoreConfig cfg = baseCfg();
+    cfg.codeL2RefsPerInstr = 0.0;
+    cfg.dataL2RefsPerInstr = 0.0;
+    Rig rig(cfg);
+    WorkItem wi = pureCompute(100);
+    // 64 bytes at offset 64: contains no line whose index is a
+    // multiple of 16 -> never sampled.
+    wi.addRef(64, 64, false);
+    rig.core.execute(wi, 0);
+    EXPECT_EQ(rig.ms.cpu(0).counters(mem::ExecMode::User).dataReads, 0u);
+}
+
+TEST(CpuCore, ExactRefReuseHitsCache)
+{
+    CoreConfig cfg = baseCfg();
+    cfg.codeL2RefsPerInstr = 0.0;
+    cfg.dataL2RefsPerInstr = 0.0;
+    Rig rig(cfg);
+    WorkItem wi = pureCompute(100);
+    wi.addRef(0, 64, false);
+    const auto first = rig.core.execute(wi, 0);
+    const auto second = rig.core.execute(wi, 0);
+    // The second execution hits in L2: far fewer stall cycles.
+    EXPECT_LT(second.cycles, first.cycles);
+    const auto &mc = rig.ms.cpu(0).counters(mem::ExecMode::User);
+    EXPECT_EQ(mc.dataReads, 2 * S);
+    EXPECT_EQ(mc.l3Misses, S); // Only the first touch missed.
+}
+
+TEST(CpuCore, CodeStreamGeneratesFetches)
+{
+    CoreConfig cfg = baseCfg();
+    cfg.dataL2RefsPerInstr = 0.0;
+    cfg.codeL2RefsPerInstr = 0.008;
+    Rig rig(cfg);
+    WorkItem wi = pureCompute(1000000);
+    wi.codeBytes = 1536 * KiB;
+    rig.core.execute(wi, 0);
+    const auto &mc = rig.ms.cpu(0).counters(mem::ExecMode::User);
+    // Expected fetches ~ instr * rate (scaled estimate).
+    EXPECT_NEAR(static_cast<double>(mc.codeFetches), 8000.0, 16.0);
+}
+
+TEST(CpuCore, DataStreamRespectsRateScale)
+{
+    CoreConfig cfg = baseCfg();
+    cfg.codeL2RefsPerInstr = 0.0;
+    cfg.dataL2RefsPerInstr = 0.01;
+    Rig rig(cfg);
+    WorkItem wi = pureCompute(1000000);
+    wi.privateBase = 0x4'0000'0000;
+    wi.privateBytes = 64 * KiB;
+    wi.dataRateScale = 2.0f;
+    rig.core.execute(wi, 0);
+    const auto &mc = rig.ms.cpu(0).counters(mem::ExecMode::User);
+    const double refs =
+        static_cast<double>(mc.dataReads + mc.dataWrites);
+    EXPECT_NEAR(refs, 20000.0, 32.0);
+}
+
+TEST(CpuCore, MemoryStallsRaiseCpi)
+{
+    CoreConfig cfg = baseCfg();
+    cfg.codeL2RefsPerInstr = 0.0;
+    cfg.dataL2RefsPerInstr = 0.02;
+    Rig rig(cfg);
+    WorkItem wi = pureCompute(500000);
+    // A private region far larger than the scaled L3: mostly misses.
+    wi.privateBase = 0x4'0000'0000;
+    wi.privateBytes = 16 * MiB;
+    const auto res = rig.core.execute(wi, 0);
+    const double cpi = res.cycles / 500000.0;
+    EXPECT_GT(cpi, 2.0); // L3 misses at ~300 cycles dominate.
+}
+
+TEST(CpuCore, DeterministicAcrossIdenticalRuns)
+{
+    auto run = [] {
+        Rig rig;
+        WorkItem wi = pureCompute(200000);
+        wi.privateBase = 0x4'0000'0000;
+        wi.privateBytes = 64 * KiB;
+        wi.codeBytes = 256 * KiB;
+        double total = 0.0;
+        for (int i = 0; i < 10; ++i)
+            total += rig.core.execute(wi, i * 1000).cycles;
+        return total;
+    };
+    EXPECT_DOUBLE_EQ(run(), run());
+}
+
+TEST(CpuCore, MismatchedSampleFactorPanics)
+{
+    mem::MemorySystem ms(1, smallHier(), quietBus(), 8);
+    CoreConfig cfg = baseCfg(); // samplePeriod 16 != 8.
+    EXPECT_DEATH({ CpuCore core(0, cfg, ms, 1); }, "must match");
+}
+
+/** Property: cycles scale linearly with instruction count. */
+class CoreLinearityProperty : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(CoreLinearityProperty, CyclesScaleWithInstructions)
+{
+    CoreConfig cfg = baseCfg();
+    cfg.codeL2RefsPerInstr = 0.0;
+    cfg.dataL2RefsPerInstr = 0.0;
+    Rig rig(cfg);
+    const std::uint64_t n = static_cast<std::uint64_t>(GetParam());
+    const auto res = rig.core.execute(pureCompute(n), 0);
+    const double per_instr = res.cycles / static_cast<double>(n);
+    EXPECT_NEAR(per_instr, 0.5 + 0.08 + 0.07, 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, CoreLinearityProperty,
+                         ::testing::Values(1000, 10000, 100000, 1000000));
+
+} // namespace

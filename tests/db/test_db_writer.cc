@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Tests for DBWR: urgent write-back of evicted dirty blocks,
+ * checkpointing of aged dirty blocks, coalescing, throttling.
+ */
+
+#include <gtest/gtest.h>
+
+#include "db/buffer_cache.hh"
+#include "db/cost_model.hh"
+#include "db/db_writer.hh"
+
+namespace
+{
+
+using namespace odbsim;
+using namespace odbsim::db;
+
+struct Rig
+{
+    os::System sys;
+    DbCostModel costs;
+    BufferCache bc;
+    DbWriter dbwr;
+
+    explicit Rig(DbWriterConfig cfg = fastCfg())
+        : sys([] {
+              os::SystemConfig scfg;
+              scfg.numCpus = 1;
+              scfg.core.samplePeriod = 16;
+              scfg.disks.dataDisks = 2;
+              scfg.disks.logDisks = 1;
+              return scfg;
+          }()),
+          bc(64), dbwr(sys, costs, bc, cfg)
+    {
+        dbwr.start();
+    }
+
+    static DbWriterConfig
+    fastCfg()
+    {
+        DbWriterConfig cfg;
+        cfg.checkpointAge = 20 * tickPerMs;
+        cfg.scanInterval = 5 * tickPerMs;
+        cfg.wakeThreshold = 4;
+        return cfg;
+    }
+};
+
+TEST(DbWriter, WritesEvictedDirtyBlocks)
+{
+    Rig rig;
+    for (BlockId b = 0; b < 8; ++b)
+        rig.dbwr.enqueueEvicted(b);
+    rig.sys.runFor(100 * tickPerMs);
+    EXPECT_EQ(rig.dbwr.blocksWritten(), 8u);
+    EXPECT_EQ(rig.sys.disks().dataWrites(), 8u);
+    EXPECT_EQ(rig.dbwr.urgentDepth(), 0u);
+}
+
+TEST(DbWriter, TimerDrainsSmallUrgentQueues)
+{
+    Rig rig;
+    // Below the wake threshold: the periodic scan must still drain it.
+    rig.dbwr.enqueueEvicted(1);
+    rig.sys.runFor(100 * tickPerMs);
+    EXPECT_EQ(rig.dbwr.blocksWritten(), 1u);
+}
+
+TEST(DbWriter, CheckpointsAgedDirtyBlocks)
+{
+    Rig rig;
+    const auto v = rig.bc.allocate(77);
+    rig.bc.fillComplete(v.frame);
+    rig.bc.markDirty(v.frame);
+    rig.dbwr.noteDirty(77, rig.sys.now());
+    rig.sys.runFor(10 * tickPerMs); // Younger than checkpointAge.
+    EXPECT_EQ(rig.dbwr.blocksWritten(), 0u);
+    rig.sys.runFor(100 * tickPerMs); // Now aged out.
+    EXPECT_EQ(rig.dbwr.blocksWritten(), 1u);
+    EXPECT_FALSE(rig.bc.isDirty(v.frame)); // Cleaned at write time.
+}
+
+TEST(DbWriter, SkipsBlocksCleanedBeforeCheckpoint)
+{
+    Rig rig;
+    const auto v = rig.bc.allocate(77);
+    rig.bc.fillComplete(v.frame);
+    rig.bc.markDirty(v.frame);
+    rig.dbwr.noteDirty(77, rig.sys.now());
+    rig.bc.markClean(77); // E.g. written through the urgent path.
+    rig.sys.runFor(100 * tickPerMs);
+    EXPECT_EQ(rig.dbwr.blocksWritten(), 0u);
+}
+
+TEST(DbWriter, SkipsEvictedEntriesOnCheckpointQueue)
+{
+    Rig rig;
+    const auto v = rig.bc.allocate(77);
+    rig.bc.fillComplete(v.frame);
+    rig.bc.markDirty(v.frame);
+    rig.dbwr.noteDirty(77, rig.sys.now());
+    // Evict 77 by filling the cache; its checkpoint entry goes stale.
+    for (BlockId b = 100; b < 100 + 64; ++b) {
+        const auto vv = rig.bc.allocate(b);
+        rig.bc.fillComplete(vv.frame);
+        if (vv.hadBlock && vv.wasDirty)
+            rig.dbwr.enqueueEvicted(vv.evictedBlock);
+    }
+    rig.sys.runFor(200 * tickPerMs);
+    // Exactly one write: the urgent eviction; the stale checkpoint
+    // entry was skipped.
+    EXPECT_EQ(rig.dbwr.blocksWritten(), 1u);
+}
+
+TEST(DbWriter, CoalescesRedirtyWithinCheckpointWindow)
+{
+    Rig rig;
+    const auto v = rig.bc.allocate(77);
+    rig.bc.fillComplete(v.frame);
+    // Dirtied twice in quick succession (two queue entries).
+    rig.bc.markDirty(v.frame);
+    rig.dbwr.noteDirty(77, rig.sys.now());
+    rig.bc.markDirty(v.frame);
+    rig.dbwr.noteDirty(77, rig.sys.now());
+    rig.sys.runFor(200 * tickPerMs);
+    // One write only: the second entry found the block clean.
+    EXPECT_EQ(rig.dbwr.blocksWritten(), 1u);
+}
+
+TEST(DbWriter, HandlesLargeBurstsWithThrottling)
+{
+    DbWriterConfig cfg = Rig::fastCfg();
+    cfg.maxOutstanding = 16;
+    cfg.batchSize = 8;
+    Rig rig(cfg);
+    for (BlockId b = 0; b < 300; ++b)
+        rig.dbwr.enqueueEvicted(b);
+    rig.sys.runFor(3 * tickPerSec);
+    EXPECT_EQ(rig.dbwr.blocksWritten(), 300u);
+}
+
+TEST(DbWriter, ChargesCpuWork)
+{
+    Rig rig;
+    for (BlockId b = 0; b < 32; ++b)
+        rig.dbwr.enqueueEvicted(b);
+    rig.sys.runFor(100 * tickPerMs);
+    const auto &user = rig.sys.core(0).counters()[mem::ExecMode::User];
+    const auto &os = rig.sys.core(0).counters()[mem::ExecMode::Os];
+    EXPECT_GT(user.instructions, 0.0); // DBWR queue processing.
+    EXPECT_GT(os.instructions, 0.0);   // Async write submission.
+}
+
+TEST(DbWriter, ResetStats)
+{
+    Rig rig;
+    rig.dbwr.enqueueEvicted(1);
+    rig.sys.runFor(100 * tickPerMs);
+    rig.dbwr.resetStats();
+    EXPECT_EQ(rig.dbwr.blocksWritten(), 0u);
+}
+
+} // namespace

@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Tests for the row-lock manager: grant/queue semantics, FIFO
+ * hand-off with wake-up, re-entrancy, statistics.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "db/lock_manager.hh"
+
+namespace
+{
+
+using namespace odbsim;
+using namespace odbsim::db;
+
+/** A process that simply parks (for use as a lock holder). */
+class ParkedProcess : public os::Process
+{
+  public:
+    ParkedProcess()
+        : os::Process("parked")
+    {}
+
+    os::NextAction
+    next(os::System &) override
+    {
+        os::NextAction act;
+        act.after = os::NextAction::After::Block;
+        return act;
+    }
+};
+
+struct Rig
+{
+    os::System sys;
+    LockManager locks;
+    os::Process *p1;
+    os::Process *p2;
+    os::Process *p3;
+
+    Rig()
+        : sys([] {
+              os::SystemConfig cfg;
+              cfg.numCpus = 1;
+              cfg.core.samplePeriod = 16;
+              cfg.disks.dataDisks = 1;
+              cfg.disks.logDisks = 1;
+              return cfg;
+          }())
+    {
+        p1 = sys.spawn(std::make_unique<ParkedProcess>());
+        p2 = sys.spawn(std::make_unique<ParkedProcess>());
+        p3 = sys.spawn(std::make_unique<ParkedProcess>());
+        sys.runFor(tickPerMs); // Let everyone park.
+    }
+};
+
+TEST(LockManager, GrantsFreeLock)
+{
+    Rig rig;
+    EXPECT_TRUE(rig.locks.acquire(rig.p1, 100));
+    EXPECT_EQ(rig.locks.heldCount(), 1u);
+    EXPECT_EQ(rig.locks.conflicts(), 0u);
+}
+
+TEST(LockManager, ReentrantAcquireGranted)
+{
+    Rig rig;
+    EXPECT_TRUE(rig.locks.acquire(rig.p1, 100));
+    EXPECT_TRUE(rig.locks.acquire(rig.p1, 100));
+    EXPECT_EQ(rig.locks.conflicts(), 0u);
+}
+
+TEST(LockManager, ConflictQueuesWaiter)
+{
+    Rig rig;
+    EXPECT_TRUE(rig.locks.acquire(rig.p1, 100));
+    EXPECT_FALSE(rig.locks.acquire(rig.p2, 100));
+    EXPECT_EQ(rig.locks.conflicts(), 1u);
+}
+
+TEST(LockManager, ReleaseHandsOffAndWakes)
+{
+    Rig rig;
+    rig.locks.acquire(rig.p1, 100);
+    rig.locks.acquire(rig.p2, 100); // Queued.
+    EXPECT_EQ(rig.p2->state(), os::Process::State::Blocked);
+    rig.locks.release(rig.p1, 100, rig.sys);
+    // p2 now owns the lock and was made runnable.
+    EXPECT_NE(rig.p2->state(), os::Process::State::Blocked);
+    // A third contender queues behind p2.
+    EXPECT_FALSE(rig.locks.acquire(rig.p3, 100));
+}
+
+TEST(LockManager, FifoHandOffOrder)
+{
+    Rig rig;
+    rig.locks.acquire(rig.p1, 100);
+    rig.locks.acquire(rig.p2, 100);
+    rig.locks.acquire(rig.p3, 100);
+    rig.locks.release(rig.p1, 100, rig.sys);
+    // p2 (the older waiter) must now hold it: p1 re-acquiring queues.
+    EXPECT_FALSE(rig.locks.acquire(rig.p1, 100));
+}
+
+TEST(LockManager, ReleaseWithoutWaitersFreesResource)
+{
+    Rig rig;
+    rig.locks.acquire(rig.p1, 100);
+    rig.locks.release(rig.p1, 100, rig.sys);
+    EXPECT_EQ(rig.locks.heldCount(), 0u);
+    EXPECT_TRUE(rig.locks.acquire(rig.p2, 100));
+}
+
+TEST(LockManager, ReleaseAllClearsVector)
+{
+    Rig rig;
+    std::vector<LockKey> held;
+    for (LockKey k : {1ull, 2ull, 3ull}) {
+        EXPECT_TRUE(rig.locks.acquire(rig.p1, k));
+        held.push_back(k);
+    }
+    rig.locks.releaseAll(rig.p1, held, rig.sys);
+    EXPECT_TRUE(held.empty());
+    EXPECT_EQ(rig.locks.heldCount(), 0u);
+}
+
+TEST(LockManager, IndependentKeysDoNotConflict)
+{
+    Rig rig;
+    EXPECT_TRUE(rig.locks.acquire(rig.p1, makeLockKey(Table::Warehouse, 1)));
+    EXPECT_TRUE(rig.locks.acquire(rig.p2, makeLockKey(Table::Warehouse, 2)));
+    EXPECT_TRUE(rig.locks.acquire(rig.p3, makeLockKey(Table::District, 1)));
+    EXPECT_EQ(rig.locks.conflicts(), 0u);
+}
+
+TEST(LockManager, LockKeyEncodingSeparatesTables)
+{
+    EXPECT_NE(makeLockKey(Table::Warehouse, 7),
+              makeLockKey(Table::District, 7));
+    EXPECT_NE(makeLockKey(Table::Customer, 1),
+              makeLockKey(Table::Customer, 2));
+}
+
+TEST(LockManager, StatsCountAcquires)
+{
+    Rig rig;
+    rig.locks.acquire(rig.p1, 5);
+    rig.locks.acquire(rig.p2, 5);
+    EXPECT_EQ(rig.locks.acquires(), 2u);
+    rig.locks.resetStats();
+    EXPECT_EQ(rig.locks.acquires(), 0u);
+    EXPECT_EQ(rig.locks.conflicts(), 0u);
+}
+
+} // namespace

@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Tests for the redo log manager and LGWR: group commit batching,
+ * durability wake-ups, statistics.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "db/cost_model.hh"
+#include "db/redo_log.hh"
+
+namespace
+{
+
+using namespace odbsim;
+using namespace odbsim::db;
+
+/** Commits once, records when durability was signalled. */
+class CommitterProcess : public os::Process
+{
+  public:
+    CommitterProcess(LogManager &log, std::uint32_t bytes, Tick delay)
+        : os::Process("committer"), log_(log), bytes_(bytes),
+          delay_(delay)
+    {}
+
+    os::NextAction
+    next(os::System &sys) override
+    {
+        os::NextAction act;
+        switch (phase_++) {
+          case 0:
+            // Optional pre-commit think time.
+            if (delay_) {
+                sys.sleepProcess(this, delay_);
+                act.after = os::NextAction::After::Block;
+                return act;
+            }
+            ++phase_;
+            [[fallthrough]];
+          case 1:
+            log_.requestCommit(this, bytes_);
+            act.work.instructions = 1000;
+            act.after = os::NextAction::After::Block;
+            return act;
+          default:
+            durableAt = sys.now();
+            act.after = os::NextAction::After::Terminate;
+            return act;
+        }
+    }
+
+    Tick durableAt = 0;
+
+  private:
+    LogManager &log_;
+    std::uint32_t bytes_;
+    Tick delay_;
+    int phase_ = 0;
+};
+
+struct Rig
+{
+    os::System sys;
+    DbCostModel costs;
+    LogManager log;
+
+    Rig(unsigned cpus = 2)
+        : sys([cpus] {
+              os::SystemConfig cfg;
+              cfg.numCpus = cpus;
+              cfg.core.samplePeriod = 16;
+              cfg.disks.dataDisks = 1;
+              cfg.disks.logDisks = 1;
+              return cfg;
+          }()),
+          log(sys, costs)
+    {
+        log.start();
+    }
+};
+
+TEST(LogManager, SingleCommitBecomesDurable)
+{
+    Rig rig;
+    auto owned =
+        std::make_unique<CommitterProcess>(rig.log, 6000, 0);
+    auto *p = owned.get();
+    rig.sys.spawn(std::move(owned));
+    rig.sys.runFor(50 * tickPerMs);
+    EXPECT_EQ(p->state(), os::Process::State::Done);
+    EXPECT_GT(p->durableAt, 0u);
+    EXPECT_EQ(rig.log.commitsServed(), 1u);
+    EXPECT_GE(rig.log.flushes(), 1u);
+    EXPECT_GE(rig.log.bytesFlushed(), 6000u);
+}
+
+TEST(LogManager, ConcurrentCommitsShareFlushes)
+{
+    Rig rig;
+    std::vector<CommitterProcess *> ps;
+    for (int i = 0; i < 16; ++i) {
+        auto owned =
+            std::make_unique<CommitterProcess>(rig.log, 4000, 0);
+        ps.push_back(owned.get());
+        rig.sys.spawn(std::move(owned));
+    }
+    rig.sys.runFor(100 * tickPerMs);
+    for (auto *p : ps)
+        EXPECT_EQ(p->state(), os::Process::State::Done);
+    EXPECT_EQ(rig.log.commitsServed(), 16u);
+    // Group commit: far fewer flushes than commits.
+    EXPECT_LT(rig.log.flushes(), 16u);
+    EXPECT_GT(rig.log.groupSize().max(), 1.0);
+}
+
+TEST(LogManager, SpacedCommitsFlushIndividually)
+{
+    Rig rig;
+    for (int i = 0; i < 4; ++i) {
+        rig.sys.spawn(std::make_unique<CommitterProcess>(
+            rig.log, 2000, i * 20 * tickPerMs));
+    }
+    rig.sys.runFor(200 * tickPerMs);
+    EXPECT_EQ(rig.log.commitsServed(), 4u);
+    // 20 ms apart with ~0.3 ms flushes: every commit flushes alone.
+    EXPECT_EQ(rig.log.flushes(), 4u);
+}
+
+TEST(LogManager, LogWritesAreSequentialOnLogDisks)
+{
+    Rig rig;
+    rig.sys.spawn(std::make_unique<CommitterProcess>(rig.log, 6000, 0));
+    rig.sys.runFor(50 * tickPerMs);
+    EXPECT_GE(rig.sys.disks().logWrites(), 1u);
+    EXPECT_EQ(rig.sys.disks().dataWrites(), 0u);
+}
+
+TEST(LogManager, DurabilityLatencyIsSubMillisecondUnloaded)
+{
+    Rig rig;
+    auto owned = std::make_unique<CommitterProcess>(rig.log, 6000, 0);
+    auto *p = owned.get();
+    rig.sys.spawn(std::move(owned));
+    rig.sys.runFor(50 * tickPerMs);
+    // Sequential log write ~0.35 ms + scheduling.
+    EXPECT_LT(p->durableAt, 2 * tickPerMs);
+}
+
+TEST(LogManager, ResetStats)
+{
+    Rig rig;
+    rig.sys.spawn(std::make_unique<CommitterProcess>(rig.log, 6000, 0));
+    rig.sys.runFor(50 * tickPerMs);
+    rig.log.resetStats();
+    EXPECT_EQ(rig.log.flushes(), 0u);
+    EXPECT_EQ(rig.log.bytesFlushed(), 0u);
+    EXPECT_EQ(rig.log.commitsServed(), 0u);
+}
+
+TEST(LogManager, DoubleStartPanics)
+{
+    Rig rig;
+    EXPECT_DEATH({ rig.log.start(); }, "already started");
+}
+
+} // namespace

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Tests for the simulated address map: region disjointness and helper
+ * arithmetic.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "mem/addr_space.hh"
+
+namespace
+{
+
+using namespace odbsim;
+using namespace odbsim::mem::addrmap;
+
+TEST(AddrSpace, RegionsAreDisjoint)
+{
+    struct Region
+    {
+        Addr base;
+        std::uint64_t bytes;
+    };
+    // The SGA frame region extends to the largest buffer cache used
+    // (~400k frames); the PGA region sits far above it.
+    const std::vector<Region> regions = {
+        {kernelCodeBase, kernelCodeBytes},
+        {kernelDataBase, kernelDataBytes},
+        {dbCodeBase, dbCodeBytes},
+        {dbSharedBase, dbSharedBytes},
+        {sgaMetaBase, 500000ull * sgaMetaBytesPerFrame},
+        {logBufferBase, logBufferBytes},
+        {lockTableBase, lockTableBytes},
+        {sgaFrameBase, 400000ull * 8192},
+        {processPrivateBase(0), 128 * pgaStride},
+    };
+    for (std::size_t i = 0; i < regions.size(); ++i) {
+        for (std::size_t j = i + 1; j < regions.size(); ++j) {
+            const bool overlap =
+                regions[i].base < regions[j].base + regions[j].bytes &&
+                regions[j].base < regions[i].base + regions[i].bytes;
+            EXPECT_FALSE(overlap) << "regions " << i << " and " << j;
+        }
+    }
+}
+
+TEST(AddrSpace, FrameAddressesAreFrameAligned)
+{
+    EXPECT_EQ(frameAddr(0, 8192), sgaFrameBase);
+    EXPECT_EQ(frameAddr(7, 8192), sgaFrameBase + 7 * 8192);
+    EXPECT_EQ(frameAddr(7, 8192) % 8192, sgaFrameBase % 8192);
+}
+
+TEST(AddrSpace, MetaAddressesStride64)
+{
+    EXPECT_EQ(frameMetaAddr(0), sgaMetaBase);
+    EXPECT_EQ(frameMetaAddr(3) - frameMetaAddr(2), 64u);
+}
+
+TEST(AddrSpace, ProcessRegionsDoNotOverlap)
+{
+    for (std::uint64_t pid = 0; pid < 64; ++pid) {
+        const Addr a = processPrivateBase(pid);
+        const Addr b = processPrivateBase(pid + 1);
+        EXPECT_GE(b, a + pgaHotBytes);
+    }
+}
+
+TEST(AddrSpace, HotBytesFitTheStride)
+{
+    EXPECT_LE(pgaHotBytes, pgaStride);
+}
+
+} // namespace

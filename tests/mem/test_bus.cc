@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Tests for the front-side-bus / IOQ queueing model.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "mem/bus.hh"
+
+namespace
+{
+
+using namespace odbsim;
+using namespace odbsim::mem;
+
+BusConfig
+cfg()
+{
+    BusConfig c;
+    c.cpuFreqHz = 1.6e9;
+    c.baseTransactionCycles = 102.0;
+    c.lineOccupancyCycles = 40.0;
+    c.windowTicks = 100 * tickPerUs;
+    c.ewmaAlpha = 1.0; // No smoothing: deterministic tests.
+    return c;
+}
+
+/** Cycles in one window at 1.6 GHz. */
+constexpr double windowCycles = 160000.0;
+
+TEST(FrontSideBus, UnloadedBusHasBaseLatency)
+{
+    FrontSideBus bus(cfg());
+    bus.maybeUpdate(cfg().windowTicks);
+    EXPECT_DOUBLE_EQ(bus.utilization(), 0.0);
+    EXPECT_DOUBLE_EQ(bus.ioqCycles(), 102.0);
+    EXPECT_DOUBLE_EQ(bus.queueWaitCycles(), 0.0);
+}
+
+TEST(FrontSideBus, UtilizationMatchesOfferedLoad)
+{
+    FrontSideBus bus(cfg());
+    // 400 line transfers x 40 cycles = 16000 busy cycles = 10%.
+    bus.addLineTransfers(400);
+    bus.maybeUpdate(cfg().windowTicks);
+    EXPECT_NEAR(bus.utilization(), 0.10, 1e-9);
+}
+
+TEST(FrontSideBus, WaitGrowsSuperlinearlyWithLoad)
+{
+    FrontSideBus a(cfg()), b(cfg());
+    a.addLineTransfers(windowCycles * 0.2 / 40.0);
+    a.maybeUpdate(cfg().windowTicks);
+    b.addLineTransfers(windowCycles * 0.8 / 40.0);
+    b.maybeUpdate(cfg().windowTicks);
+    EXPECT_GT(a.queueWaitCycles(), 0.0);
+    // 4x the load must yield far more than 4x the wait.
+    EXPECT_GT(b.queueWaitCycles(), 6.0 * a.queueWaitCycles());
+}
+
+TEST(FrontSideBus, UtilizationClamped)
+{
+    FrontSideBus bus(cfg());
+    bus.addLineTransfers(1e9);
+    bus.maybeUpdate(cfg().windowTicks);
+    EXPECT_LE(bus.utilization(), cfg().maxUtilization);
+    EXPECT_GT(bus.queueWaitCycles(), 0.0);
+    EXPECT_TRUE(std::isfinite(bus.queueWaitCycles()));
+}
+
+TEST(FrontSideBus, NoUpdateBeforeWindowElapses)
+{
+    FrontSideBus bus(cfg());
+    bus.addLineTransfers(1000);
+    bus.maybeUpdate(cfg().windowTicks / 2);
+    EXPECT_DOUBLE_EQ(bus.utilization(), 0.0); // Not yet recomputed.
+    bus.maybeUpdate(cfg().windowTicks);
+    EXPECT_GT(bus.utilization(), 0.0);
+}
+
+TEST(FrontSideBus, DmaTrafficCountsTowardUtilization)
+{
+    FrontSideBus bus(cfg());
+    bus.addDmaBytes(100 * 1024.0); // 100 KB x 160 cycles = 16000 = 10%.
+    bus.maybeUpdate(cfg().windowTicks);
+    EXPECT_NEAR(bus.utilization(), 0.10, 1e-9);
+}
+
+TEST(FrontSideBus, LoadResetsEachWindow)
+{
+    FrontSideBus bus(cfg());
+    bus.addLineTransfers(400);
+    bus.maybeUpdate(cfg().windowTicks);
+    const double u1 = bus.utilization();
+    // Second window with no traffic: utilization decays to zero
+    // (alpha = 1 -> immediately).
+    bus.maybeUpdate(2 * cfg().windowTicks);
+    EXPECT_LT(bus.utilization(), u1);
+    EXPECT_DOUBLE_EQ(bus.utilization(), 0.0);
+}
+
+TEST(FrontSideBus, EwmaSmoothing)
+{
+    BusConfig c = cfg();
+    c.ewmaAlpha = 0.5;
+    FrontSideBus bus(c);
+    bus.addLineTransfers(windowCycles * 0.4 / 40.0); // 40% raw.
+    bus.maybeUpdate(c.windowTicks);
+    EXPECT_NEAR(bus.utilization(), 0.20, 1e-9); // Half-way from 0.
+}
+
+TEST(FrontSideBus, StatsTrackTimeSeries)
+{
+    FrontSideBus bus(cfg());
+    bus.addLineTransfers(100);
+    bus.maybeUpdate(cfg().windowTicks);
+    bus.addLineTransfers(100);
+    bus.maybeUpdate(2 * cfg().windowTicks);
+    EXPECT_EQ(bus.utilizationStat().count(), 2u);
+    EXPECT_EQ(bus.ioqStat().count(), 2u);
+    bus.resetStats();
+    EXPECT_EQ(bus.utilizationStat().count(), 0u);
+}
+
+TEST(FrontSideBus, HigherCvMeansLongerWaits)
+{
+    BusConfig lo = cfg();
+    lo.serviceCv2 = 0.0;
+    BusConfig hi = cfg();
+    hi.serviceCv2 = 2.0;
+    FrontSideBus a(lo), b(hi);
+    const double txns = windowCycles * 0.5 / 40.0;
+    a.addLineTransfers(txns);
+    b.addLineTransfers(txns);
+    a.maybeUpdate(cfg().windowTicks);
+    b.maybeUpdate(cfg().windowTicks);
+    EXPECT_NEAR(b.queueWaitCycles(), 3.0 * a.queueWaitCycles(), 1e-9);
+}
+
+} // namespace

@@ -1,0 +1,226 @@
+/**
+ * @file
+ * Tests for the scaled-tag-store memory system: sampled-line
+ * compression, miss propagation, coherence integration, DMA
+ * invalidation, counter attribution.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/hierarchy.hh"
+
+namespace
+{
+
+using namespace odbsim;
+using namespace odbsim::mem;
+
+constexpr std::uint32_t S = 16;
+
+HierarchyConfig
+smallHier()
+{
+    HierarchyConfig h;
+    h.l2 = {16 * KiB, 4, 64};
+    h.l3 = {64 * KiB, 8, 64};
+    return h;
+}
+
+BusConfig
+quietBus()
+{
+    BusConfig b;
+    b.windowTicks = tickPerSec; // Effectively never recompute.
+    return b;
+}
+
+/** n-th sampled line address (multiples of S lines). */
+Addr
+sline(std::uint64_t n)
+{
+    return n * 64 * S;
+}
+
+TEST(MemorySystem, FirstTouchMissesEverywhere)
+{
+    MemorySystem ms(1, smallHier(), quietBus(), S);
+    const auto res =
+        ms.access(0, sline(1), AccessKind::DataRead, ExecMode::User, 0);
+    EXPECT_EQ(res.servicedBy, ServicedBy::Memory);
+    EXPECT_TRUE(res.l3Miss());
+}
+
+TEST(MemorySystem, RepeatHitsInL2)
+{
+    MemorySystem ms(1, smallHier(), quietBus(), S);
+    ms.access(0, sline(1), AccessKind::DataRead, ExecMode::User, 0);
+    const auto res =
+        ms.access(0, sline(1), AccessKind::DataRead, ExecMode::User, 0);
+    EXPECT_EQ(res.servicedBy, ServicedBy::L2);
+}
+
+TEST(MemorySystem, L2VictimStillHitsL3)
+{
+    MemorySystem ms(1, smallHier(), quietBus(), S);
+    // L2 scaled: 16 KiB/16 = 1 KiB = 16 lines, 4 sets. Touch a line,
+    // then flood its L2 set; it must still hit in the larger L3.
+    ms.access(0, sline(0), AccessKind::DataRead, ExecMode::User, 0);
+    for (std::uint64_t n = 1; n <= 8; ++n) {
+        // Same L2 set: line index multiple of 4 (sets) in compressed
+        // space -> choose sampled lines 4n.
+        ms.access(0, sline(4 * n), AccessKind::DataRead, ExecMode::User,
+                  0);
+    }
+    const auto res =
+        ms.access(0, sline(0), AccessKind::DataRead, ExecMode::User, 0);
+    EXPECT_EQ(res.servicedBy, ServicedBy::L3);
+}
+
+TEST(MemorySystem, SampledLinesSpreadOverAllSets)
+{
+    // Regression test for the compression bug: consecutive sampled
+    // lines must map to consecutive cache sets, not collide in a few.
+    MemorySystem ms(1, smallHier(), quietBus(), S);
+    // Scaled L3 = 4 KiB = 64 lines, 8 sets x 8 ways. 64 distinct
+    // sampled lines must all be resident afterwards.
+    for (std::uint64_t n = 0; n < 64; ++n)
+        ms.access(0, sline(n), AccessKind::DataRead, ExecMode::User, 0);
+    std::uint64_t hits = 0;
+    for (std::uint64_t n = 0; n < 64; ++n) {
+        const auto r =
+            ms.access(0, sline(n), AccessKind::DataRead, ExecMode::User,
+                      0);
+        hits += !r.l3Miss();
+    }
+    EXPECT_EQ(hits, 64u);
+}
+
+TEST(MemorySystem, CountersScaleBySampleFactor)
+{
+    MemorySystem ms(1, smallHier(), quietBus(), S);
+    ms.access(0, sline(1), AccessKind::DataRead, ExecMode::User, 0);
+    ms.access(0, sline(2), AccessKind::DataWrite, ExecMode::User, 0);
+    ms.access(0, sline(3), AccessKind::CodeFetch, ExecMode::Os, 0);
+    const MemCounters &u = ms.cpu(0).counters(ExecMode::User);
+    const MemCounters &o = ms.cpu(0).counters(ExecMode::Os);
+    EXPECT_EQ(u.dataReads, S);
+    EXPECT_EQ(u.dataWrites, S);
+    EXPECT_EQ(u.l3Misses, 2 * S);
+    EXPECT_EQ(o.codeFetches, S);
+    EXPECT_EQ(o.l3Misses, S);
+}
+
+TEST(MemorySystem, RemoteDirtyLineIsCoherenceMiss)
+{
+    MemorySystem ms(2, smallHier(), quietBus(), S);
+    ms.access(0, sline(5), AccessKind::DataWrite, ExecMode::User, 0);
+    const auto res =
+        ms.access(1, sline(5), AccessKind::DataRead, ExecMode::User, 0);
+    EXPECT_EQ(res.servicedBy, ServicedBy::RemoteCache);
+    EXPECT_EQ(ms.cpu(1).counters(ExecMode::User).coherenceMisses, S);
+}
+
+TEST(MemorySystem, WriteInvalidatesRemoteCopies)
+{
+    MemorySystem ms(2, smallHier(), quietBus(), S);
+    ms.access(0, sline(5), AccessKind::DataRead, ExecMode::User, 0);
+    ms.access(1, sline(5), AccessKind::DataRead, ExecMode::User, 0);
+    // CPU 1 writes: CPU 0's copy must be invalidated.
+    ms.access(1, sline(5), AccessKind::DataWrite, ExecMode::User, 0);
+    const auto res =
+        ms.access(0, sline(5), AccessKind::DataRead, ExecMode::User, 0);
+    EXPECT_TRUE(res.l3Miss());
+}
+
+TEST(MemorySystem, DmaFillInvalidatesCachedLines)
+{
+    MemorySystem ms(1, smallHier(), quietBus(), S);
+    ms.access(0, sline(2), AccessKind::DataRead, ExecMode::User, 0);
+    // DMA overwrites an 8 KB region containing the line.
+    ms.dmaFill(0, 8192, 0);
+    const auto res =
+        ms.access(0, sline(2), AccessKind::DataRead, ExecMode::User, 0);
+    EXPECT_TRUE(res.l3Miss());
+}
+
+TEST(MemorySystem, DmaChargesBusTraffic)
+{
+    BusConfig b;
+    b.windowTicks = 100 * tickPerUs;
+    b.ewmaAlpha = 1.0;
+    MemorySystem ms(1, smallHier(), b, S);
+    ms.dmaDrain(64 * 1024, 0);
+    ms.bus().maybeUpdate(b.windowTicks);
+    EXPECT_GT(ms.bus().utilization(), 0.0);
+}
+
+TEST(MemorySystem, ResetStatsKeepsCacheState)
+{
+    MemorySystem ms(1, smallHier(), quietBus(), S);
+    ms.access(0, sline(9), AccessKind::DataRead, ExecMode::User, 0);
+    ms.resetStats();
+    EXPECT_EQ(ms.cpu(0).counters(ExecMode::User).dataReads, 0u);
+    const auto res =
+        ms.access(0, sline(9), AccessKind::DataRead, ExecMode::User, 0);
+    EXPECT_FALSE(res.l3Miss()); // Still cached.
+}
+
+TEST(MemorySystem, FlushAllDropsState)
+{
+    MemorySystem ms(1, smallHier(), quietBus(), S);
+    ms.access(0, sline(9), AccessKind::DataRead, ExecMode::User, 0);
+    ms.flushAll();
+    const auto res =
+        ms.access(0, sline(9), AccessKind::DataRead, ExecMode::User, 0);
+    EXPECT_TRUE(res.l3Miss());
+}
+
+TEST(MemorySystem, TotalCountersSumModes)
+{
+    MemorySystem ms(1, smallHier(), quietBus(), S);
+    ms.access(0, sline(1), AccessKind::DataRead, ExecMode::User, 0);
+    ms.access(0, sline(2), AccessKind::DataRead, ExecMode::Os, 0);
+    const MemCounters t = ms.cpu(0).totalCounters();
+    EXPECT_EQ(t.dataReads, 2 * S);
+    EXPECT_EQ(t.l2Accesses(), 2 * S);
+}
+
+TEST(MemorySystem, CapacityEvictionsUpdateDirectory)
+{
+    MemorySystem ms(2, smallHier(), quietBus(), S);
+    // CPU 0 reads a line, then streams enough lines to evict it from
+    // its own L3. CPU 1 writing the line afterwards must see no stale
+    // sharers (no crash, no invalidation of CPU 0 needed).
+    ms.access(0, sline(0), AccessKind::DataRead, ExecMode::User, 0);
+    for (std::uint64_t n = 1; n <= 128; ++n)
+        ms.access(0, sline(n * 8), AccessKind::DataRead, ExecMode::User,
+                  0);
+    ms.access(1, sline(0), AccessKind::DataWrite, ExecMode::User, 0);
+    EXPECT_EQ(ms.directory().snoop(sline(0)).modifiedOwner, 1);
+}
+
+/** Parameterized: every power-of-two sample factor behaves sanely. */
+class SampleFactorProperty : public ::testing::TestWithParam<std::uint32_t>
+{
+};
+
+TEST_P(SampleFactorProperty, WorkingSetWithinScaledCacheIsRetained)
+{
+    const std::uint32_t s = GetParam();
+    MemorySystem ms(1, smallHier(), quietBus(), s);
+    const std::uint64_t lines = (64 * KiB / s) / 64; // Scaled L3 lines.
+    for (std::uint64_t n = 0; n < lines; ++n)
+        ms.access(0, n * 64 * s, AccessKind::DataRead, ExecMode::User, 0);
+    std::uint64_t miss = 0;
+    for (std::uint64_t n = 0; n < lines; ++n) {
+        miss += ms.access(0, n * 64 * s, AccessKind::DataRead,
+                          ExecMode::User, 0)
+                    .l3Miss();
+    }
+    EXPECT_EQ(miss, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Factors, SampleFactorProperty,
+                         ::testing::Values(1u, 2u, 4u, 8u, 16u));
+
+} // namespace

@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Tests for the CMP shared-L3 mode: cross-core hits, on-die coherence
+ * transfers, inclusive eviction, capacity sharing.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/hierarchy.hh"
+
+namespace
+{
+
+using namespace odbsim;
+using namespace odbsim::mem;
+
+constexpr std::uint32_t S = 16;
+
+HierarchyConfig
+cmpHier()
+{
+    HierarchyConfig h;
+    h.l2 = {16 * KiB, 4, 64};
+    h.l3 = {64 * KiB, 8, 64};
+    h.sharedL3 = true;
+    return h;
+}
+
+BusConfig
+quietBus()
+{
+    BusConfig b;
+    b.windowTicks = tickPerSec;
+    return b;
+}
+
+Addr
+sline(std::uint64_t n)
+{
+    return n * 64 * S;
+}
+
+TEST(SharedL3, ModeIsReported)
+{
+    MemorySystem cmp(4, cmpHier(), quietBus(), S);
+    EXPECT_TRUE(cmp.sharedL3());
+    HierarchyConfig smp = cmpHier();
+    smp.sharedL3 = false;
+    MemorySystem priv(4, smp, quietBus(), S);
+    EXPECT_FALSE(priv.sharedL3());
+}
+
+TEST(SharedL3, CrossCoreReadHitsOnDie)
+{
+    MemorySystem ms(2, cmpHier(), quietBus(), S);
+    // Core 0 fills the line from memory.
+    EXPECT_EQ(ms.access(0, sline(3), AccessKind::DataRead,
+                        ExecMode::User, 0)
+                  .servicedBy,
+              ServicedBy::Memory);
+    // Core 1 reads: the shared L3 serves it without a bus transfer.
+    EXPECT_EQ(ms.access(1, sline(3), AccessKind::DataRead,
+                        ExecMode::User, 0)
+                  .servicedBy,
+              ServicedBy::L3);
+    EXPECT_EQ(ms.cpu(1).counters(ExecMode::User).l3Misses, 0u);
+}
+
+TEST(SharedL3, PrivateModeMissesCrossCore)
+{
+    HierarchyConfig smp = cmpHier();
+    smp.sharedL3 = false;
+    MemorySystem ms(2, smp, quietBus(), S);
+    ms.access(0, sline(3), AccessKind::DataRead, ExecMode::User, 0);
+    // With private L3s the sibling must go to memory.
+    EXPECT_EQ(ms.access(1, sline(3), AccessKind::DataRead,
+                        ExecMode::User, 0)
+                  .servicedBy,
+              ServicedBy::Memory);
+}
+
+TEST(SharedL3, DirtyLineServedOnDieCountsAsHitm)
+{
+    MemorySystem ms(2, cmpHier(), quietBus(), S);
+    ms.access(0, sline(5), AccessKind::DataWrite, ExecMode::User, 0);
+    const auto res =
+        ms.access(1, sline(5), AccessKind::DataRead, ExecMode::User, 0);
+    EXPECT_EQ(res.servicedBy, ServicedBy::L3); // On-die, cheap.
+    EXPECT_EQ(ms.cpu(1).counters(ExecMode::User).coherenceMisses, S);
+}
+
+TEST(SharedL3, WriteInvalidatesSiblingL2Copy)
+{
+    MemorySystem ms(2, cmpHier(), quietBus(), S);
+    ms.access(0, sline(7), AccessKind::DataRead, ExecMode::User, 0);
+    ms.access(1, sline(7), AccessKind::DataRead, ExecMode::User, 0);
+    // Core 1 writes; core 0's L2 copy must be gone, but the data is
+    // still on die.
+    ms.access(1, sline(7), AccessKind::DataWrite, ExecMode::User, 0);
+    const auto res =
+        ms.access(0, sline(7), AccessKind::DataRead, ExecMode::User, 0);
+    EXPECT_EQ(res.servicedBy, ServicedBy::L3);
+}
+
+TEST(SharedL3, CapacityIsShared)
+{
+    // Two cores streaming disjoint sets together thrash the single
+    // shared L3 where private L3s would have held both.
+    MemorySystem shared(2, cmpHier(), quietBus(), S);
+    HierarchyConfig smp = cmpHier();
+    smp.sharedL3 = false;
+    MemorySystem priv(2, smp, quietBus(), S);
+
+    // Scaled shared L3 = 64 lines. Each core streams 48 lines.
+    auto stream = [](MemorySystem &ms, unsigned cpu, std::uint64_t base) {
+        std::uint64_t misses = 0;
+        for (int pass = 0; pass < 2; ++pass) {
+            for (std::uint64_t n = 0; n < 48; ++n) {
+                misses += ms.access(cpu, sline(base + n),
+                                    AccessKind::DataRead,
+                                    ExecMode::User, 0)
+                              .l3Miss();
+            }
+        }
+        return misses;
+    };
+    std::uint64_t shared_misses = 0, priv_misses = 0;
+    // Interleave the two cores' streams.
+    for (int rep = 0; rep < 2; ++rep) {
+        shared_misses += stream(shared, 0, 0);
+        shared_misses += stream(shared, 1, 1000);
+        priv_misses += stream(priv, 0, 0);
+        priv_misses += stream(priv, 1, 1000);
+    }
+    EXPECT_GT(shared_misses, priv_misses);
+}
+
+TEST(SharedL3, InclusiveEvictionRemovesL2Copies)
+{
+    MemorySystem ms(2, cmpHier(), quietBus(), S);
+    ms.access(0, sline(0), AccessKind::DataRead, ExecMode::User, 0);
+    // Stream enough lines through core 1 to evict line 0 from the
+    // shared L3 entirely (64-line scaled capacity).
+    for (std::uint64_t n = 1; n <= 256; ++n)
+        ms.access(1, sline(n), AccessKind::DataRead, ExecMode::User, 0);
+    // Core 0's next access must go to memory (its L2 copy was
+    // back-invalidated with the shared-L3 eviction).
+    EXPECT_EQ(ms.access(0, sline(0), AccessKind::DataRead,
+                        ExecMode::User, 0)
+                  .servicedBy,
+              ServicedBy::Memory);
+}
+
+TEST(SharedL3, FlushAndResetCoverSharedCache)
+{
+    MemorySystem ms(2, cmpHier(), quietBus(), S);
+    ms.access(0, sline(3), AccessKind::DataRead, ExecMode::User, 0);
+    ms.flushAll();
+    EXPECT_EQ(ms.access(1, sline(3), AccessKind::DataRead,
+                        ExecMode::User, 0)
+                  .servicedBy,
+              ServicedBy::Memory);
+}
+
+} // namespace

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Tests for the standalone TLB model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/tlb.hh"
+
+namespace
+{
+
+using namespace odbsim;
+using namespace odbsim::mem;
+
+TEST(Tlb, MissThenHitSamePage)
+{
+    Tlb tlb(64, 4);
+    EXPECT_FALSE(tlb.access(0x1234));
+    EXPECT_TRUE(tlb.access(0x1238));  // Same 4 KB page.
+    EXPECT_TRUE(tlb.access(0x1fff));
+    EXPECT_FALSE(tlb.access(0x2000)); // Next page.
+}
+
+TEST(Tlb, CapacityEviction)
+{
+    Tlb tlb(4, 4); // Fully associative, 4 entries.
+    for (Addr p = 0; p < 5; ++p)
+        tlb.access(p * 4096);
+    // Page 0 was LRU and must have been evicted.
+    EXPECT_FALSE(tlb.access(0));
+}
+
+TEST(Tlb, CountsMisses)
+{
+    Tlb tlb(64, 4);
+    tlb.access(0x0000);
+    tlb.access(0x1000);
+    tlb.access(0x0000);
+    EXPECT_EQ(tlb.accesses(), 3u);
+    EXPECT_EQ(tlb.misses(), 2u);
+}
+
+TEST(Tlb, FlushDropsTranslations)
+{
+    Tlb tlb(64, 4);
+    tlb.access(0x5000);
+    tlb.flush();
+    EXPECT_FALSE(tlb.access(0x5000));
+}
+
+TEST(Tlb, ResetStats)
+{
+    Tlb tlb(64, 4);
+    tlb.access(0x5000);
+    tlb.resetStats();
+    EXPECT_EQ(tlb.accesses(), 0u);
+    EXPECT_EQ(tlb.misses(), 0u);
+    EXPECT_TRUE(tlb.access(0x5000)); // Entry survives.
+}
+
+} // namespace

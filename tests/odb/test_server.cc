@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Integration tests for the server-process replay engine: transactions
+ * complete, locks are released, buffer misses trigger reads, commits
+ * reach the log.
+ */
+
+#include <gtest/gtest.h>
+
+#include "../support/mini_odb.hh"
+
+namespace
+{
+
+using namespace odbsim;
+
+TEST(ServerProcess, TransactionsComplete)
+{
+    test::MiniOdb rig(2, 2, 4);
+    rig.measure();
+    EXPECT_GT(rig.workload.committed(), 50u);
+}
+
+TEST(ServerProcess, AllTransactionTypesCommit)
+{
+    test::MiniOdb rig(2, 2, 6);
+    rig.measure(50 * tickPerMs, 800 * tickPerMs);
+    for (unsigned i = 0; i < db::numTxnTypes; ++i) {
+        EXPECT_GT(rig.workload.committed(static_cast<db::TxnType>(i)), 0u)
+            << toString(static_cast<db::TxnType>(i));
+    }
+}
+
+TEST(ServerProcess, NoLocksLeakAcrossTransactions)
+{
+    test::MiniOdb rig(2, 2, 6);
+    rig.measure();
+    // After hundreds of transactions the lock table holds at most the
+    // locks of the transactions in flight (bounded by clients x 3).
+    EXPECT_LE(rig.db.locks().heldCount(), 6u * 4u);
+    EXPECT_GT(rig.db.locks().acquires(), 100u);
+}
+
+TEST(ServerProcess, CommitsReachTheRedoLog)
+{
+    test::MiniOdb rig;
+    rig.measure();
+    EXPECT_GT(rig.db.log().commitsServed(), 0u);
+    EXPECT_GT(rig.db.log().bytesFlushed(), 0u);
+    // Read-only transactions skip the flush: commits served is below
+    // total committed.
+    EXPECT_LE(rig.db.log().commitsServed(), rig.workload.committed());
+}
+
+TEST(ServerProcess, LogBytesPerTxnNearSixKb)
+{
+    test::MiniOdb rig(2, 2, 6);
+    rig.measure(50 * tickPerMs, 500 * tickPerMs);
+    const double kb_per_txn =
+        static_cast<double>(rig.sys.disks().logBytesWritten()) / 1024.0 /
+        static_cast<double>(rig.workload.committed());
+    // Paper: ~6 KB of redo per transaction, independent of W and P.
+    EXPECT_GT(kb_per_txn, 3.0);
+    EXPECT_LT(kb_per_txn, 10.0);
+}
+
+TEST(ServerProcess, BufferMissesCauseDiskReads)
+{
+    // A database larger than the tiny SGA forces misses.
+    os::System sys(test::miniSystemConfig(2));
+    db::DatabaseConfig dbcfg = test::miniDbConfig(8);
+    dbcfg.sgaFrames = 512; // Far smaller than the working set.
+    db::Database db(sys, dbcfg);
+    odb::WorkloadConfig wcfg;
+    wcfg.clients = 6;
+    odb::OdbWorkload workload(db, wcfg);
+    db.start();
+    workload.start();
+    db.instantWarm();
+    sys.runFor(300 * tickPerMs);
+    EXPECT_GT(sys.disks().dataReads(), 0u);
+    EXPECT_LT(db.bufferCache().hitRatio(), 1.0);
+    EXPECT_GT(workload.committed(), 0u);
+}
+
+TEST(ServerProcess, CachedSetupHasAlmostNoReads)
+{
+    // Everything fits: after warm-up, reads per txn should be tiny
+    // (the paper's cached-setup property).
+    test::MiniOdb rig(2, 2, 4);
+    rig.measure(400 * tickPerMs, 400 * tickPerMs);
+    const double reads_per_txn =
+        static_cast<double>(rig.sys.disks().dataReads()) /
+        static_cast<double>(rig.workload.committed());
+    EXPECT_LT(reads_per_txn, 1.0);
+    EXPECT_GT(rig.db.bufferCache().hitRatio(), 0.98);
+}
+
+TEST(ServerProcess, DirtyBlocksFlowThroughDbwrOnPressure)
+{
+    os::System sys(test::miniSystemConfig(2));
+    db::DatabaseConfig dbcfg = test::miniDbConfig(8);
+    dbcfg.sgaFrames = 512;
+    dbcfg.warmDirtyFraction = 0.3;
+    db::Database db(sys, dbcfg);
+    odb::WorkloadConfig wcfg;
+    wcfg.clients = 6;
+    odb::OdbWorkload workload(db, wcfg);
+    db.start();
+    workload.start();
+    db.instantWarm();
+    sys.runFor(500 * tickPerMs);
+    EXPECT_GT(db.dbwr().blocksWritten(), 0u);
+    EXPECT_GT(sys.disks().dataWrites(), 0u);
+}
+
+TEST(ServerProcess, ResponseTimesRecorded)
+{
+    test::MiniOdb rig;
+    rig.measure();
+    const auto &lat = rig.workload.latencyMs(db::TxnType::NewOrder);
+    ASSERT_GT(lat.count(), 0u);
+    EXPECT_GT(lat.mean(), 0.0);
+    EXPECT_LT(lat.mean(), 1000.0);
+}
+
+TEST(ServerProcess, DeterministicWithFixedSeed)
+{
+    auto run = [] {
+        test::MiniOdb rig(2, 2, 4);
+        rig.measure(50 * tickPerMs, 150 * tickPerMs);
+        return rig.workload.committed();
+    };
+    EXPECT_EQ(run(), run());
+}
+
+TEST(ServerProcess, UserInstructionShareDominates)
+{
+    test::MiniOdb rig;
+    rig.measure();
+    double user = 0.0, os = 0.0;
+    for (unsigned i = 0; i < rig.sys.numCpus(); ++i) {
+        user += rig.sys.core(i).counters()[mem::ExecMode::User]
+                    .instructions;
+        os += rig.sys.core(i).counters()[mem::ExecMode::Os].instructions;
+    }
+    // Paper: user code is 70-80% of instructions.
+    EXPECT_GT(user / (user + os), 0.6);
+}
+
+} // namespace

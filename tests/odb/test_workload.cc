@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Tests for the workload driver: client spawning, statistics,
+ * throughput accounting.
+ */
+
+#include <gtest/gtest.h>
+
+#include "../support/mini_odb.hh"
+
+namespace
+{
+
+using namespace odbsim;
+
+TEST(OdbWorkload, SpawnsRequestedClients)
+{
+    test::MiniOdb rig(2, 2, 5);
+    // 5 servers + LGWR + DBWR.
+    EXPECT_EQ(rig.sys.processCount(), 7u);
+    EXPECT_EQ(rig.workload.clients(), 5u);
+    EXPECT_EQ(rig.workload.homes().size(), 5u);
+}
+
+TEST(OdbWorkload, HomesCoverWarehousesRoundRobin)
+{
+    test::MiniOdb rig(2, 2, 5);
+    const auto &homes = rig.workload.homes();
+    for (std::size_t i = 0; i < homes.size(); ++i)
+        EXPECT_EQ(homes[i], i % 2);
+}
+
+TEST(OdbWorkload, TpsMatchesCommittedOverWindow)
+{
+    test::MiniOdb rig;
+    rig.measure(50 * tickPerMs, 250 * tickPerMs);
+    const double expect =
+        static_cast<double>(rig.workload.committed()) / 0.25;
+    EXPECT_NEAR(rig.workload.tps(rig.sys.measurementWindow()), expect,
+                1e-6 * expect + 1e-9);
+}
+
+TEST(OdbWorkload, ResetStatsClearsCountsAndLatencies)
+{
+    test::MiniOdb rig;
+    rig.sys.runFor(100 * tickPerMs);
+    EXPECT_GT(rig.workload.committed(), 0u);
+    rig.workload.resetStats();
+    EXPECT_EQ(rig.workload.committed(), 0u);
+    EXPECT_EQ(rig.workload.latencyMs(db::TxnType::Payment).count(), 0u);
+}
+
+TEST(OdbWorkload, PerTypeCountsSumToTotal)
+{
+    test::MiniOdb rig;
+    rig.measure();
+    std::uint64_t sum = 0;
+    for (unsigned i = 0; i < db::numTxnTypes; ++i)
+        sum += rig.workload.committed(static_cast<db::TxnType>(i));
+    EXPECT_EQ(sum, rig.workload.committed());
+}
+
+TEST(OdbWorkload, MoreClientsMoreConcurrency)
+{
+    auto throughput = [](unsigned clients) {
+        test::MiniOdb rig(2, 2, clients);
+        rig.measure(50 * tickPerMs, 300 * tickPerMs);
+        return rig.workload.tps(rig.sys.measurementWindow());
+    };
+    // One client cannot mask commit latency; four can.
+    EXPECT_GT(throughput(4), throughput(1) * 1.3);
+}
+
+TEST(OdbWorkload, ZeroWindowTpsIsZero)
+{
+    test::MiniOdb rig;
+    EXPECT_DOUBLE_EQ(rig.workload.tps(0), 0.0);
+}
+
+TEST(OdbWorkload, DoubleStartPanics)
+{
+    test::MiniOdb rig;
+    EXPECT_DEATH({ rig.workload.start(); }, "already started");
+}
+
+} // namespace

@@ -1,0 +1,284 @@
+/**
+ * @file
+ * Tests for the round-robin scheduler: dispatch, blocking, wake races,
+ * quantum preemption, context-switch accounting.
+ */
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "os/system.hh"
+
+namespace
+{
+
+using namespace odbsim;
+using namespace odbsim::os;
+
+SystemConfig
+testConfig(unsigned cpus = 1)
+{
+    SystemConfig cfg;
+    cfg.numCpus = cpus;
+    cfg.core.samplePeriod = 16;
+    cfg.core.codeL2RefsPerInstr = 0.0;
+    cfg.core.dataL2RefsPerInstr = 0.0;
+    cfg.disks.dataDisks = 2;
+    cfg.disks.logDisks = 1;
+    return cfg;
+}
+
+/** A process driven by a list of step functions. */
+class ScriptedProcess : public Process
+{
+  public:
+    using Step = std::function<NextAction(System &, Process &)>;
+
+    ScriptedProcess(std::string name, std::vector<Step> steps)
+        : Process(std::move(name)), steps_(std::move(steps))
+    {}
+
+    NextAction
+    next(System &sys) override
+    {
+        if (idx_ >= steps_.size()) {
+            NextAction act;
+            act.after = NextAction::After::Terminate;
+            return act;
+        }
+        return steps_[idx_++](sys, *this);
+    }
+
+    std::size_t stepsRun() const { return idx_; }
+
+  private:
+    std::vector<Step> steps_;
+    std::size_t idx_ = 0;
+};
+
+NextAction
+compute(std::uint64_t instr,
+        NextAction::After after = NextAction::After::Continue)
+{
+    NextAction act;
+    act.work.instructions = instr;
+    act.work.codeBase = 0x1000'0000;
+    act.work.codeBytes = 64;
+    act.after = after;
+    return act;
+}
+
+TEST(Scheduler, RunsProcessToTermination)
+{
+    System sys(testConfig());
+    int runs = 0;
+    auto *p = sys.spawn(std::make_unique<ScriptedProcess>(
+        "p", std::vector<ScriptedProcess::Step>{
+                 [&](System &, Process &) { ++runs; return compute(1000); },
+                 [&](System &, Process &) { ++runs; return compute(1000); },
+             }));
+    sys.runFor(tickPerMs);
+    EXPECT_EQ(runs, 2);
+    EXPECT_EQ(p->state(), Process::State::Done);
+}
+
+TEST(Scheduler, AssignsPidsAndPrivateRegions)
+{
+    System sys(testConfig());
+    auto *a = sys.spawn(std::make_unique<ScriptedProcess>(
+        "a", std::vector<ScriptedProcess::Step>{}));
+    auto *b = sys.spawn(std::make_unique<ScriptedProcess>(
+        "b", std::vector<ScriptedProcess::Step>{}));
+    EXPECT_NE(a->pid(), b->pid());
+    EXPECT_NE(a->privateBase(), b->privateBase());
+    EXPECT_EQ(sys.processCount(), 2u);
+}
+
+TEST(Scheduler, BlockedProcessWokenByEvent)
+{
+    System sys(testConfig());
+    bool resumed = false;
+    Process *p = sys.spawn(std::make_unique<ScriptedProcess>(
+        "p", std::vector<ScriptedProcess::Step>{
+                 [](System &, Process &) {
+                     // Block; the external event below wakes us.
+                     return compute(100, NextAction::After::Block);
+                 },
+                 [&](System &, Process &) {
+                     resumed = true;
+                     return compute(100);
+                 },
+             }));
+    sys.eq().schedule(5 * tickPerMs,
+                      [&] { sys.wakeProcess(p, 1000); });
+    sys.runFor(10 * tickPerMs);
+    EXPECT_TRUE(resumed);
+    EXPECT_EQ(p->state(), Process::State::Done);
+}
+
+TEST(Scheduler, WakeRaceDuringRetiringChunkIsNotLost)
+{
+    System sys(testConfig());
+    bool resumed = false;
+    sys.spawn(std::make_unique<ScriptedProcess>(
+        "p", std::vector<ScriptedProcess::Step>{
+                 [&](System &sys_ref, Process &self) {
+                     // Wake arrives while this chunk retires (at the
+                     // very same tick the chunk starts).
+                     sys_ref.wakeProcess(&self, 0);
+                     return compute(100000, NextAction::After::Block);
+                 },
+                 [&](System &, Process &) {
+                     resumed = true;
+                     return compute(100);
+                 },
+             }));
+    sys.runFor(10 * tickPerMs);
+    EXPECT_TRUE(resumed);
+}
+
+TEST(Scheduler, TwoProcessesShareOneCpu)
+{
+    System sys(testConfig(1));
+    std::vector<int> order;
+    auto mk = [&](int id) {
+        std::vector<ScriptedProcess::Step> steps;
+        for (int i = 0; i < 3; ++i) {
+            steps.push_back([&order, id](System &, Process &) {
+                order.push_back(id);
+                // Block briefly so the other process gets the CPU.
+                return compute(1000, NextAction::After::Block);
+            });
+        }
+        return std::make_unique<ScriptedProcess>("p", std::move(steps));
+    };
+    Process *a = sys.spawn(mk(1));
+    Process *b = sys.spawn(mk(2));
+    // Self-rescheduling wake pump.
+    std::function<void()> pump = [&] {
+        if (a->state() == Process::State::Blocked)
+            sys.wakeProcess(a, 0);
+        if (b->state() == Process::State::Blocked)
+            sys.wakeProcess(b, 0);
+        if (a->state() != Process::State::Done ||
+            b->state() != Process::State::Done)
+            sys.eq().scheduleAfter(tickPerMs, pump);
+    };
+    sys.eq().schedule(tickPerMs, pump);
+    sys.runFor(50 * tickPerMs);
+    EXPECT_EQ(a->state(), Process::State::Done);
+    EXPECT_EQ(b->state(), Process::State::Done);
+    // Both made progress in interleaved fashion.
+    EXPECT_EQ(order.size(), 6u);
+}
+
+TEST(Scheduler, QuantumPreemptionRotatesRunners)
+{
+    SystemConfig cfg = testConfig(1);
+    cfg.quantum = tickPerMs; // Short quantum.
+    System sys(cfg);
+    int runs_a = 0, runs_b = 0;
+    auto mk = [&](int *counter) {
+        std::vector<ScriptedProcess::Step> steps;
+        for (int i = 0; i < 40; ++i) {
+            steps.push_back([counter](System &, Process &) {
+                ++*counter;
+                return compute(800000); // ~0.35 ms each.
+            });
+        }
+        return std::make_unique<ScriptedProcess>("p", std::move(steps));
+    };
+    sys.spawn(mk(&runs_a));
+    sys.spawn(mk(&runs_b));
+    sys.runFor(10 * tickPerMs);
+    // Without preemption B would starve until A terminates; with the
+    // 1 ms quantum both must have run.
+    EXPECT_GT(runs_a, 0);
+    EXPECT_GT(runs_b, 0);
+    EXPECT_GT(sys.sched().contextSwitches(), 4u);
+}
+
+TEST(Scheduler, ContextSwitchChargesKernelWork)
+{
+    SystemConfig cfg = testConfig(1);
+    cfg.quantum = tickPerMs;
+    System sys(cfg);
+    auto mk = [&] {
+        std::vector<ScriptedProcess::Step> steps;
+        for (int i = 0; i < 20; ++i)
+            steps.push_back(
+                [](System &, Process &) { return compute(800000); });
+        return std::make_unique<ScriptedProcess>("p", std::move(steps));
+    };
+    sys.spawn(mk());
+    sys.spawn(mk());
+    sys.runFor(10 * tickPerMs);
+    // The switch path runs in kernel mode.
+    double os_instr = 0.0;
+    os_instr += sys.core(0).counters()[mem::ExecMode::Os].instructions;
+    EXPECT_GT(os_instr, 0.0);
+}
+
+TEST(Scheduler, MultipleCpusRunInParallel)
+{
+    System sys(testConfig(2));
+    Tick done_a = 0, done_b = 0;
+    auto mk = [&](Tick *done) {
+        return std::make_unique<ScriptedProcess>(
+            "p", std::vector<ScriptedProcess::Step>{
+                     [done](System &sys_ref, Process &) {
+                         *done = sys_ref.now();
+                         return compute(1600000); // 0.5 ms at CPI 0.5.
+                     },
+                 });
+    };
+    sys.spawn(mk(&done_a));
+    sys.spawn(mk(&done_b));
+    sys.runFor(tickPerMs);
+    // Both started together on separate CPUs (after the identical
+    // context-switch-in kernel chunk).
+    EXPECT_EQ(done_a, done_b);
+    EXPECT_LT(done_a, 100 * tickPerUs);
+}
+
+TEST(Scheduler, BusyTicksBoundedByWallTime)
+{
+    System sys(testConfig(1));
+    auto mk = [&] {
+        std::vector<ScriptedProcess::Step> steps;
+        for (int i = 0; i < 100; ++i)
+            steps.push_back(
+                [](System &, Process &) { return compute(500000); });
+        return std::make_unique<ScriptedProcess>("p", std::move(steps));
+    };
+    sys.spawn(mk());
+    sys.beginMeasurement();
+    sys.runFor(5 * tickPerMs);
+    EXPECT_LE(sys.sched().busyTicks(0), sys.measurementWindow());
+    EXPECT_GT(sys.cpuUtilization(0), 0.9); // CPU-bound process.
+}
+
+TEST(Scheduler, SleepProcessWakesAfterDuration)
+{
+    System sys(testConfig(1));
+    Tick woke_at = 0;
+    Process *p = sys.spawn(std::make_unique<ScriptedProcess>(
+        "p", std::vector<ScriptedProcess::Step>{
+                 [&](System &sys_ref, Process &self) {
+                     sys_ref.sleepProcess(&self, 3 * tickPerMs);
+                     return compute(100, NextAction::After::Block);
+                 },
+                 [&](System &sys_ref, Process &) {
+                     woke_at = sys_ref.now();
+                     return compute(100);
+                 },
+             }));
+    sys.runFor(10 * tickPerMs);
+    EXPECT_GE(woke_at, 3 * tickPerMs);
+    EXPECT_EQ(p->state(), Process::State::Done);
+}
+
+} // namespace

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Parameterized scheduler properties: fairness under preemption across
+ * quanta, busy-time conservation across CPU counts.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "os/system.hh"
+
+namespace
+{
+
+using namespace odbsim;
+using namespace odbsim::os;
+
+/** Burns chunks forever (until the run window ends). */
+class HogProcess : public Process
+{
+  public:
+    HogProcess()
+        : Process("hog")
+    {}
+
+    NextAction
+    next(System &) override
+    {
+        ++chunks;
+        NextAction act;
+        act.work.instructions = 200000;
+        act.work.codeBase = 0x1000'0000;
+        act.work.codeBytes = 64;
+        return act;
+    }
+
+    int chunks = 0;
+};
+
+SystemConfig
+cfgWith(Tick quantum, unsigned cpus)
+{
+    SystemConfig cfg;
+    cfg.numCpus = cpus;
+    cfg.quantum = quantum;
+    cfg.core.samplePeriod = 16;
+    cfg.core.codeL2RefsPerInstr = 0.0;
+    cfg.core.dataL2RefsPerInstr = 0.0;
+    cfg.disks.dataDisks = 1;
+    cfg.disks.logDisks = 1;
+    return cfg;
+}
+
+class QuantumFairness : public ::testing::TestWithParam<Tick>
+{
+};
+
+TEST_P(QuantumFairness, CompetingHogsShareTheCpu)
+{
+    System sys(cfgWith(GetParam(), 1));
+    std::vector<HogProcess *> hogs;
+    for (int i = 0; i < 3; ++i) {
+        auto p = std::make_unique<HogProcess>();
+        hogs.push_back(p.get());
+        sys.spawn(std::move(p));
+    }
+    sys.runFor(60 * tickPerMs);
+    int total = 0, lo = 1 << 30, hi = 0;
+    for (const auto *h : hogs) {
+        total += h->chunks;
+        lo = std::min(lo, h->chunks);
+        hi = std::max(hi, h->chunks);
+    }
+    EXPECT_GT(total, 10);
+    // Round-robin preemption keeps progress within 2x across peers.
+    EXPECT_GT(lo, 0);
+    EXPECT_LE(hi, 2 * lo + 2);
+}
+
+INSTANTIATE_TEST_SUITE_P(Quanta, QuantumFairness,
+                         ::testing::Values(tickPerMs, 5 * tickPerMs,
+                                           20 * tickPerMs));
+
+class CpuScaling : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(CpuScaling, BusyTimeConservedAcrossCpus)
+{
+    const unsigned cpus = GetParam();
+    System sys(cfgWith(5 * tickPerMs, cpus));
+    for (unsigned i = 0; i < cpus; ++i)
+        sys.spawn(std::make_unique<HogProcess>());
+    sys.beginMeasurement();
+    sys.runFor(20 * tickPerMs);
+    // With one hog per CPU, every CPU is (almost) fully busy.
+    for (unsigned i = 0; i < cpus; ++i)
+        EXPECT_GT(sys.cpuUtilization(i), 0.95) << "cpu " << i;
+    EXPECT_GT(sys.avgCpuUtilization(), 0.95);
+}
+
+TEST_P(CpuScaling, ThroughputScalesWithCpus)
+{
+    const unsigned cpus = GetParam();
+    System sys(cfgWith(5 * tickPerMs, cpus));
+    std::vector<HogProcess *> hogs;
+    for (unsigned i = 0; i < cpus; ++i) {
+        auto p = std::make_unique<HogProcess>();
+        hogs.push_back(p.get());
+        sys.spawn(std::move(p));
+    }
+    sys.runFor(20 * tickPerMs);
+    int total = 0;
+    for (const auto *h : hogs)
+        total += h->chunks;
+    // Independent hogs on independent CPUs: near-linear chunk totals.
+    System ref(cfgWith(5 * tickPerMs, 1));
+    auto p = std::make_unique<HogProcess>();
+    HogProcess *one = p.get();
+    ref.spawn(std::move(p));
+    ref.runFor(20 * tickPerMs);
+    EXPECT_NEAR(static_cast<double>(total),
+                static_cast<double>(one->chunks) * cpus,
+                0.15 * one->chunks * cpus);
+}
+
+INSTANTIATE_TEST_SUITE_P(Cpus, CpuScaling,
+                         ::testing::Values(1u, 2u, 4u, 8u));
+
+} // namespace

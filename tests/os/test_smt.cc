@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Tests for the Hyper-Threading model: sibling mapping, shared
+ * hierarchies, issue-bandwidth contention.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "os/system.hh"
+
+namespace
+{
+
+using namespace odbsim;
+using namespace odbsim::os;
+
+SystemConfig
+htConfig()
+{
+    SystemConfig cfg;
+    cfg.numCpus = 4; // 2 physical cores x 2 threads.
+    cfg.threadsPerCore = 2;
+    cfg.core.samplePeriod = 16;
+    cfg.core.codeL2RefsPerInstr = 0.0;
+    cfg.core.dataL2RefsPerInstr = 0.0;
+    cfg.disks.dataDisks = 2;
+    cfg.disks.logDisks = 1;
+    return cfg;
+}
+
+/** Burns a fixed instruction budget, then terminates. */
+class BurnProcess : public Process
+{
+  public:
+    explicit BurnProcess(int chunks)
+        : Process("burn"), chunks_(chunks)
+    {}
+
+    NextAction
+    next(System &) override
+    {
+        NextAction act;
+        if (chunks_-- <= 0) {
+            act.after = NextAction::After::Terminate;
+            return act;
+        }
+        act.work.instructions = 400000;
+        act.work.codeBase = 0x1000'0000;
+        act.work.codeBytes = 64;
+        return act;
+    }
+
+  private:
+    int chunks_;
+};
+
+TEST(Smt, SiblingAndPhysicalMapping)
+{
+    System sys(htConfig());
+    EXPECT_EQ(sys.numCpus(), 4u);
+    EXPECT_EQ(sys.memsys().numCpus(), 2u); // Two hierarchies.
+    EXPECT_EQ(sys.physicalOf(0), 0u);
+    EXPECT_EQ(sys.physicalOf(1), 0u);
+    EXPECT_EQ(sys.physicalOf(2), 1u);
+    EXPECT_EQ(sys.siblingOf(0), 1u);
+    EXPECT_EQ(sys.siblingOf(1), 0u);
+    EXPECT_EQ(sys.siblingOf(3), 2u);
+    EXPECT_EQ(sys.core(0).memCpuId(), sys.core(1).memCpuId());
+    EXPECT_NE(sys.core(0).memCpuId(), sys.core(2).memCpuId());
+}
+
+TEST(Smt, NoSmtSiblingIsSelf)
+{
+    SystemConfig cfg = htConfig();
+    cfg.threadsPerCore = 1;
+    System sys(cfg);
+    EXPECT_EQ(sys.siblingOf(2), 2u);
+    EXPECT_EQ(sys.memsys().numCpus(), 4u);
+}
+
+TEST(Smt, InvalidConfigsPanic)
+{
+    SystemConfig odd = htConfig();
+    odd.numCpus = 3;
+    EXPECT_DEATH({ System sys(odd); }, "multiple of threadsPerCore");
+    SystemConfig many = htConfig();
+    many.threadsPerCore = 4;
+    EXPECT_DEATH({ System sys(many); }, "must be 1 or 2");
+}
+
+TEST(Smt, SiblingContentionSlowsBothThreads)
+{
+    // One process on an otherwise idle machine vs two processes
+    // pinned (by FIFO dispatch) onto sibling threads: each chunk
+    // must take smtCycleFactor longer when the sibling is busy.
+    SystemConfig cfg = htConfig();
+    cfg.numCpus = 2; // One physical core, two threads.
+    auto run = [&](int procs) {
+        System sys(cfg);
+        for (int i = 0; i < procs; ++i)
+            sys.spawn(std::make_unique<BurnProcess>(40));
+        sys.beginMeasurement();
+        sys.runFor(40 * tickPerMs);
+        double cycles = 0.0, instr = 0.0;
+        for (unsigned i = 0; i < sys.numCpus(); ++i) {
+            const auto t = sys.core(i).counters().total();
+            cycles += t.cycles;
+            instr += t.instructions;
+        }
+        return cycles / instr; // Effective CPI.
+    };
+    const double solo = run(1);
+    const double duo = run(2);
+    EXPECT_NEAR(duo / solo, cfg.smtCycleFactor, 0.08);
+}
+
+TEST(Smt, AggregateThroughputStillImproves)
+{
+    // Two CPU-bound processes on 1 core x 2 threads finish sooner
+    // than on 1 core x 1 thread, despite the per-thread slowdown.
+    auto finish_time = [](unsigned threads) {
+        SystemConfig cfg = htConfig();
+        cfg.numCpus = threads;
+        cfg.threadsPerCore = threads;
+        System sys(cfg);
+        Process *a = sys.spawn(std::make_unique<BurnProcess>(30));
+        Process *b = sys.spawn(std::make_unique<BurnProcess>(30));
+        while (a->state() != Process::State::Done ||
+               b->state() != Process::State::Done) {
+            sys.runFor(tickPerMs);
+        }
+        return sys.now();
+    };
+    const Tick st = finish_time(1);
+    const Tick ht = finish_time(2);
+    EXPECT_LT(ht, st);
+    // The gain is bounded by the issue sharing (2 / factor).
+    EXPECT_GT(static_cast<double>(ht),
+              static_cast<double>(st) * 0.6);
+}
+
+TEST(Smt, SiblingsShareCacheHierarchy)
+{
+    SystemConfig cfg = htConfig();
+    System sys(cfg);
+    // Thread 0 touches a line through the shared hierarchy; thread 1
+    // must hit it, thread 2 (other core) must miss.
+    const Addr line = 0; // Sampled line (index 0).
+    sys.memsys().access(sys.core(0).memCpuId(), line,
+                        mem::AccessKind::DataRead, mem::ExecMode::User,
+                        0);
+    const auto sibling_res = sys.memsys().access(
+        sys.core(1).memCpuId(), line, mem::AccessKind::DataRead,
+        mem::ExecMode::User, 0);
+    EXPECT_FALSE(sibling_res.l3Miss());
+    const auto other_res = sys.memsys().access(
+        sys.core(2).memCpuId(), line, mem::AccessKind::DataRead,
+        mem::ExecMode::User, 0);
+    EXPECT_TRUE(other_res.l3Miss());
+}
+
+} // namespace

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Tests for the System facade: kernel work construction, synchronous
+ * disk reads with DMA + wake, measurement windows.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "os/system.hh"
+
+namespace
+{
+
+using namespace odbsim;
+using namespace odbsim::os;
+
+SystemConfig
+testConfig()
+{
+    SystemConfig cfg;
+    cfg.numCpus = 2;
+    cfg.core.samplePeriod = 16;
+    cfg.disks.dataDisks = 2;
+    cfg.disks.logDisks = 1;
+    return cfg;
+}
+
+/** Blocks on one disk read, then terminates. */
+class ReaderProcess : public Process
+{
+  public:
+    ReaderProcess()
+        : Process("reader")
+    {}
+
+    NextAction
+    next(System &sys) override
+    {
+        NextAction act;
+        if (phase_ == 0) {
+            phase_ = 1;
+            sys.chargeKernel(this, sys.kernelCosts().ioSubmitInstr);
+            sys.diskReadForProcess(this, 1234, 0x4000'0000, 8192);
+            act.work.instructions = 1000;
+            act.after = NextAction::After::Block;
+        } else {
+            resumedAt = sys.now();
+            act.work.instructions = 1000;
+            act.after = NextAction::After::Terminate;
+        }
+        return act;
+    }
+
+    int phase_ = 0;
+    Tick resumedAt = 0;
+};
+
+TEST(System, MakeKernelWorkTargetsKernelRegions)
+{
+    System sys(testConfig());
+    const cpu::WorkItem wi = sys.makeKernelWork(5000, 42.0);
+    EXPECT_EQ(wi.instructions, 5000u);
+    EXPECT_EQ(wi.mode, mem::ExecMode::Os);
+    EXPECT_EQ(wi.codeBase, mem::addrmap::kernelCodeBase);
+    EXPECT_EQ(wi.privateBase, mem::addrmap::kernelDataBase);
+    EXPECT_DOUBLE_EQ(wi.extraCycles, 42.0);
+}
+
+TEST(System, DiskReadBlocksAndWakesProcess)
+{
+    System sys(testConfig());
+    auto owned = std::make_unique<ReaderProcess>();
+    ReaderProcess *p = owned.get();
+    sys.spawn(std::move(owned));
+    sys.runFor(50 * tickPerMs);
+    EXPECT_EQ(p->state(), Process::State::Done);
+    // The read took at least the minimum positioning time.
+    EXPECT_GE(p->resumedAt, ticksFromMs(0.8));
+    EXPECT_EQ(sys.disks().dataReads(), 1u);
+}
+
+TEST(System, DiskReadChargesKernelInstructions)
+{
+    System sys(testConfig());
+    sys.spawn(std::make_unique<ReaderProcess>());
+    sys.runFor(50 * tickPerMs);
+    double os_instr = 0.0;
+    for (unsigned i = 0; i < sys.numCpus(); ++i)
+        os_instr += sys.core(i).counters()[mem::ExecMode::Os].instructions;
+    // Submit + completion paths plus context switching.
+    EXPECT_GE(os_instr, static_cast<double>(
+                            sys.kernelCosts().ioSubmitInstr +
+                            sys.kernelCosts().ioCompleteInstr));
+}
+
+TEST(System, MeasurementWindowResetsCounters)
+{
+    System sys(testConfig());
+    sys.spawn(std::make_unique<ReaderProcess>());
+    sys.runFor(50 * tickPerMs);
+    EXPECT_GT(sys.disks().totalReads(), 0u);
+    sys.beginMeasurement();
+    EXPECT_EQ(sys.disks().totalReads(), 0u);
+    EXPECT_EQ(sys.sched().contextSwitches(), 0u);
+    EXPECT_EQ(sys.measurementWindow(), 0u);
+    EXPECT_DOUBLE_EQ(
+        sys.core(0).counters()[mem::ExecMode::Os].instructions, 0.0);
+    sys.runFor(10 * tickPerMs);
+    EXPECT_EQ(sys.measurementWindow(), 10 * tickPerMs);
+}
+
+TEST(System, UtilizationZeroWhenIdle)
+{
+    System sys(testConfig());
+    sys.beginMeasurement();
+    sys.runFor(5 * tickPerMs);
+    EXPECT_DOUBLE_EQ(sys.avgCpuUtilization(), 0.0);
+}
+
+TEST(System, DmaWriteDrainOnAsyncWrite)
+{
+    System sys(testConfig());
+    bool done = false;
+    sys.diskWriteAsync(55, 8192, [&] { done = true; });
+    sys.runFor(50 * tickPerMs);
+    EXPECT_TRUE(done);
+    EXPECT_EQ(sys.disks().dataBytesWritten(), 8192u);
+}
+
+TEST(System, RunUntilIsAbsolute)
+{
+    System sys(testConfig());
+    sys.runUntil(7 * tickPerMs);
+    EXPECT_EQ(sys.now(), 7 * tickPerMs);
+    sys.runFor(3 * tickPerMs);
+    EXPECT_EQ(sys.now(), 10 * tickPerMs);
+}
+
+} // namespace

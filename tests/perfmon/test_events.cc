@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Tests for the EMON event definitions and system-counter snapshots.
+ */
+
+#include <gtest/gtest.h>
+
+#include "../support/mini_odb.hh"
+#include "perfmon/events.hh"
+
+namespace
+{
+
+using namespace odbsim;
+using namespace odbsim::perfmon;
+
+TEST(EmonEvents, AllEventsNamed)
+{
+    for (unsigned e = 0; e < numEmonEvents; ++e) {
+        const char *name = toString(static_cast<EmonEvent>(e));
+        EXPECT_NE(std::string(name), "?");
+    }
+}
+
+TEST(EmonEvents, PaperTable2Aliases)
+{
+    EXPECT_STREQ(toString(EmonEvent::Instructions), "instr_retired");
+    EXPECT_STREQ(toString(EmonEvent::BranchMispredicts),
+                 "mispred_branch_retired");
+    EXPECT_STREQ(toString(EmonEvent::TlbMisses), "page_walk_type");
+    EXPECT_STREQ(toString(EmonEvent::TcMisses), "BPU_fetch_request");
+    EXPECT_STREQ(toString(EmonEvent::ClockCycles),
+                 "Global_power_events");
+    EXPECT_STREQ(toString(EmonEvent::BusUtilization),
+                 "FSB_data_activity");
+}
+
+TEST(EventReading, Arithmetic)
+{
+    EventReading a{10.0, 4.0};
+    EventReading b{3.0, 1.0};
+    const EventReading d = a - b;
+    EXPECT_DOUBLE_EQ(d.user, 7.0);
+    EXPECT_DOUBLE_EQ(d.os, 3.0);
+    EXPECT_DOUBLE_EQ(d.total(), 10.0);
+    EventReading acc;
+    acc += a;
+    acc += b;
+    EXPECT_DOUBLE_EQ(acc.total(), 18.0);
+}
+
+TEST(SystemCounters, ReadAggregatesRunningSystem)
+{
+    test::MiniOdb rig;
+    rig.measure();
+    const SystemCounters c = SystemCounters::read(rig.sys);
+    EXPECT_GT(c.instructions.user, 0.0);
+    EXPECT_GT(c.instructions.os, 0.0);
+    EXPECT_GT(c.cycles.total(), c.instructions.total() * 0.5);
+    EXPECT_GT(c.branchMispredicts.total(), 0.0);
+    EXPECT_GT(c.tlbMisses.total(), 0.0);
+    EXPECT_GT(c.tcMisses.total(), 0.0);
+    EXPECT_GT(c.l2Misses.total(), 0.0);
+    EXPECT_GT(c.l3Misses.total(), 0.0);
+    // Misses are nested: L3 misses cannot exceed L2 misses.
+    EXPECT_LE(c.l3Misses.total(), c.l2Misses.total());
+}
+
+TEST(SystemCounters, DeltaSubtractsAccumulators)
+{
+    test::MiniOdb rig;
+    rig.measure(20 * tickPerMs, 50 * tickPerMs);
+    const SystemCounters a = SystemCounters::read(rig.sys);
+    rig.sys.runFor(50 * tickPerMs);
+    const SystemCounters b = SystemCounters::read(rig.sys);
+    const SystemCounters d = b.delta(a);
+    EXPECT_GT(d.instructions.total(), 0.0);
+    EXPECT_LT(d.instructions.total(), b.instructions.total());
+    EXPECT_GE(d.cycles.total(), 0.0);
+}
+
+TEST(SystemCounters, DerivedMetricsConsistent)
+{
+    test::MiniOdb rig;
+    rig.measure();
+    const SystemCounters c = SystemCounters::read(rig.sys);
+    EXPECT_GT(c.cpi(), 0.5);
+    EXPECT_LT(c.cpi(), 50.0);
+    EXPECT_GT(c.mpi(), 0.0);
+    EXPECT_LT(c.mpi(), 0.1);
+    // The aggregate CPI lies between the per-mode CPIs.
+    const double lo = std::min(c.cpiUser(), c.cpiOs());
+    const double hi = std::max(c.cpiUser(), c.cpiOs());
+    EXPECT_GE(c.cpi(), lo - 1e-9);
+    EXPECT_LE(c.cpi(), hi + 1e-9);
+}
+
+TEST(SystemCounters, EmptySystemIsZero)
+{
+    os::System sys(test::miniSystemConfig(1));
+    const SystemCounters c = SystemCounters::read(sys);
+    EXPECT_DOUBLE_EQ(c.instructions.total(), 0.0);
+    EXPECT_DOUBLE_EQ(c.cpi(), 0.0);
+    EXPECT_DOUBLE_EQ(c.mpi(), 0.0);
+}
+
+} // namespace

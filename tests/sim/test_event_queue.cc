@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Unit tests for the discrete-event kernel: ordering, same-tick FIFO,
+ * cancellation, run limits.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.hh"
+
+namespace
+{
+
+using namespace odbsim;
+
+TEST(EventQueue, StartsAtTickZeroAndEmpty)
+{
+    EventQueue eq;
+    EXPECT_EQ(eq.curTick(), 0u);
+    EXPECT_TRUE(eq.empty());
+    EXPECT_FALSE(eq.step());
+}
+
+TEST(EventQueue, FiresInTimeOrder)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(30, [&] { order.push_back(3); });
+    eq.schedule(10, [&] { order.push_back(1); });
+    eq.schedule(20, [&] { order.push_back(2); });
+    eq.runAll();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(eq.curTick(), 30u);
+}
+
+TEST(EventQueue, SameTickFiresInScheduleOrder)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    for (int i = 0; i < 8; ++i)
+        eq.schedule(5, [&order, i] { order.push_back(i); });
+    eq.runAll();
+    for (int i = 0; i < 8; ++i)
+        EXPECT_EQ(order[i], i);
+}
+
+TEST(EventQueue, AdvancesCurTickToEventTime)
+{
+    EventQueue eq;
+    Tick seen = 0;
+    eq.schedule(42, [&] { seen = eq.curTick(); });
+    eq.runAll();
+    EXPECT_EQ(seen, 42u);
+}
+
+TEST(EventQueue, ScheduleAfterIsRelative)
+{
+    EventQueue eq;
+    Tick seen = 0;
+    eq.schedule(10, [&] {
+        eq.scheduleAfter(5, [&] { seen = eq.curTick(); });
+    });
+    eq.runAll();
+    EXPECT_EQ(seen, 15u);
+}
+
+TEST(EventQueue, RunStopsAtLimit)
+{
+    EventQueue eq;
+    int fired = 0;
+    eq.schedule(10, [&] { ++fired; });
+    eq.schedule(20, [&] { ++fired; });
+    eq.schedule(30, [&] { ++fired; });
+    eq.run(20);
+    EXPECT_EQ(fired, 2); // Events at the limit fire.
+    EXPECT_EQ(eq.curTick(), 20u);
+    eq.runAll();
+    EXPECT_EQ(fired, 3);
+}
+
+TEST(EventQueue, RunToLimitAdvancesTimeEvenWithoutEvents)
+{
+    EventQueue eq;
+    eq.run(1000);
+    EXPECT_EQ(eq.curTick(), 1000u);
+}
+
+TEST(EventQueue, CancelledEventDoesNotFire)
+{
+    EventQueue eq;
+    int fired = 0;
+    EventHandle h = eq.schedule(10, [&] { ++fired; });
+    EXPECT_TRUE(h.pending());
+    h.cancel();
+    EXPECT_FALSE(h.pending());
+    eq.runAll();
+    EXPECT_EQ(fired, 0);
+}
+
+TEST(EventQueue, CancelAfterFireIsHarmless)
+{
+    EventQueue eq;
+    int fired = 0;
+    EventHandle h = eq.schedule(10, [&] { ++fired; });
+    eq.runAll();
+    EXPECT_FALSE(h.pending());
+    h.cancel();
+    EXPECT_EQ(fired, 1);
+}
+
+TEST(EventQueue, EventsScheduledDuringEventsFire)
+{
+    EventQueue eq;
+    int depth = 0;
+    std::function<void()> recurse = [&] {
+        if (++depth < 5)
+            eq.scheduleAfter(1, recurse);
+    };
+    eq.schedule(0, recurse);
+    eq.runAll();
+    EXPECT_EQ(depth, 5);
+    EXPECT_EQ(eq.curTick(), 4u);
+}
+
+TEST(EventQueue, CountsFiredEvents)
+{
+    EventQueue eq;
+    for (int i = 0; i < 10; ++i)
+        eq.schedule(i, [] {});
+    eq.runAll();
+    EXPECT_EQ(eq.eventsFired(), 10u);
+}
+
+TEST(EventQueue, DefaultHandleIsNotPending)
+{
+    EventHandle h;
+    EXPECT_FALSE(h.pending());
+    h.cancel(); // Must not crash.
+}
+
+/** Property: N randomly-ordered events fire in nondecreasing time. */
+class EventQueueOrderProperty : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(EventQueueOrderProperty, MonotoneFiringTimes)
+{
+    EventQueue eq;
+    std::vector<Tick> fired_at;
+    std::uint64_t x = static_cast<std::uint64_t>(GetParam()) * 2654435761u;
+    for (int i = 0; i < 200; ++i) {
+        x = x * 6364136223846793005ULL + 1442695040888963407ULL;
+        const Tick when = (x >> 33) % 1000;
+        eq.schedule(when, [&fired_at, &eq] {
+            fired_at.push_back(eq.curTick());
+        });
+    }
+    eq.runAll();
+    ASSERT_EQ(fired_at.size(), 200u);
+    for (std::size_t i = 1; i < fired_at.size(); ++i)
+        EXPECT_LE(fired_at[i - 1], fired_at[i]);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EventQueueOrderProperty,
+                         ::testing::Values(1, 2, 3, 5, 8, 13));
+
+} // namespace

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Tests for the error-reporting macros (gem5-style panic/fatal/warn).
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/logging.hh"
+
+namespace
+{
+
+TEST(Logging, ConcatStreamsArguments)
+{
+    EXPECT_EQ(odbsim::detail::concat("a", 1, '-', 2.5), "a1-2.5");
+    EXPECT_EQ(odbsim::detail::concat(), "");
+}
+
+TEST(Logging, PanicAborts)
+{
+    EXPECT_DEATH({ odbsim_panic("boom ", 42); }, "panic: boom 42");
+}
+
+TEST(Logging, FatalExitsWithError)
+{
+    EXPECT_EXIT({ odbsim_fatal("bad config ", "x"); },
+                ::testing::ExitedWithCode(1), "fatal: bad config x");
+}
+
+TEST(Logging, AssertPassesOnTrue)
+{
+    odbsim_assert(1 + 1 == 2, "math works");
+    SUCCEED();
+}
+
+TEST(Logging, AssertPanicsOnFalse)
+{
+    EXPECT_DEATH({ odbsim_assert(false, "ctx ", 7); },
+                 "assertion 'false' failed: ctx 7");
+}
+
+TEST(Logging, WarnAndInformDoNotTerminate)
+{
+    odbsim_warn("just a warning ", 1);
+    odbsim_inform("status ", 2);
+    SUCCEED();
+}
+
+} // namespace

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Tests for tick/cycle unit conversions.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/types.hh"
+
+namespace
+{
+
+using namespace odbsim;
+
+TEST(Types, UnitRatios)
+{
+    EXPECT_EQ(tickPerNs, 1000u);
+    EXPECT_EQ(tickPerUs, 1000u * 1000u);
+    EXPECT_EQ(tickPerSec, 1000ull * 1000 * 1000 * 1000);
+}
+
+TEST(Types, SecondsRoundTrip)
+{
+    EXPECT_EQ(ticksFromSeconds(1.0), tickPerSec);
+    EXPECT_DOUBLE_EQ(secondsFromTicks(tickPerSec), 1.0);
+    EXPECT_EQ(ticksFromMs(2.5), 2500u * tickPerUs);
+    EXPECT_EQ(ticksFromUs(1.5), 1500u * tickPerNs);
+}
+
+TEST(ClockDomain, XeonCycleIsExactly625Ps)
+{
+    const ClockDomain clk(1.6e9);
+    EXPECT_DOUBLE_EQ(clk.ticksPerCycle(), 625.0);
+    EXPECT_EQ(clk.cyclesToTicks(1.0), 625u);
+    EXPECT_EQ(clk.cyclesToTicks(1000.0), 625000u);
+}
+
+TEST(ClockDomain, RoundTripCycles)
+{
+    const ClockDomain clk(1.6e9);
+    EXPECT_DOUBLE_EQ(clk.ticksToCycles(clk.cyclesToTicks(12345.0)),
+                     12345.0);
+}
+
+TEST(ClockDomain, FractionalCyclesRound)
+{
+    const ClockDomain clk(1.5e9); // 666.67 ps per cycle.
+    const Tick t3 = clk.cyclesToTicks(3.0);
+    EXPECT_EQ(t3, 2000u);
+    EXPECT_NEAR(clk.ticksToCycles(t3), 3.0, 1e-9);
+}
+
+TEST(ClockDomain, ReportsFrequency)
+{
+    const ClockDomain clk(2.0e9);
+    EXPECT_DOUBLE_EQ(clk.frequency(), 2.0e9);
+}
+
+TEST(Types, StorageSizes)
+{
+    EXPECT_EQ(KiB, 1024u);
+    EXPECT_EQ(MiB, 1024u * 1024u);
+    EXPECT_EQ(GiB, 1024ull * 1024 * 1024);
+}
+
+} // namespace
