@@ -26,9 +26,10 @@ classify(const odbsim::core::RunResult &r)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace odbsim;
+    bench::parseArgs(argc, argv);
     bench::banner("Figure 2", "Variance of ODB TPS with P and W scaling");
 
     const core::StudyResult study =

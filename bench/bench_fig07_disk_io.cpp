@@ -10,9 +10,10 @@
 #include "support/bench_common.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace odbsim;
+    bench::parseArgs(argc, argv);
     bench::banner("Figure 7",
                   "Disk I/Os per transaction (reads and writes), in KB");
     const core::StudyResult study =

@@ -6,9 +6,10 @@
 #include "support/bench_common.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace odbsim;
+    bench::parseArgs(argc, argv);
     bench::banner("Figure 8", "Context switches per ODB transaction");
     const core::StudyResult study =
         bench::sharedStudy(core::MachineKind::XeonQuadMp);

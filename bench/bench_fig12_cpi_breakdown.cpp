@@ -9,9 +9,10 @@
 #include "support/bench_common.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace odbsim;
+    bench::parseArgs(argc, argv);
     bench::banner("Figure 12", "CPI breakdown by event (Tables 3 & 4)");
     const core::StudyResult study =
         bench::sharedStudy(core::MachineKind::XeonQuadMp);

@@ -9,9 +9,10 @@
 #include "support/bench_common.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace odbsim;
+    bench::parseArgs(argc, argv);
     bench::banner("Figure 16", "Bus-transaction time (in the IOQ)");
     const core::StudyResult study =
         bench::sharedStudy(core::MachineKind::XeonQuadMp);

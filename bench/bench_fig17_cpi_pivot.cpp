@@ -10,9 +10,10 @@
 #include "support/bench_common.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace odbsim;
+    bench::parseArgs(argc, argv);
     bench::banner("Figure 17",
                   "Linear approximation models for the 4P CPI trend");
     const core::StudyResult study =

@@ -10,9 +10,10 @@
 #include "support/bench_common.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace odbsim;
+    bench::parseArgs(argc, argv);
     bench::banner("Figure 18",
                   "Linear approximation models for the 4P L3 MPI trend");
     const core::StudyResult study =

@@ -12,9 +12,10 @@
 #include "support/bench_common.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace odbsim;
+    bench::parseArgs(argc, argv);
     bench::banner("Figure 19", "CPI scaling on an Itanium2 quad server");
 
     const core::StudyResult i2 =

@@ -12,9 +12,10 @@
 #include "support/bench_common.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace odbsim;
+    bench::parseArgs(argc, argv);
     using analysis::TextTable;
     bench::banner("Table 5", "Number of warehouses for pivot points");
 

@@ -5,6 +5,7 @@
 #include <cinttypes>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <fstream>
 #include <sstream>
 
@@ -20,6 +21,15 @@ figureWarehouseGrid()
 namespace
 {
 
+/** Worker count for study measurement; seeded from ODBSIM_JOBS. */
+unsigned g_jobs = []() -> unsigned {
+    const char *env = std::getenv("ODBSIM_JOBS");
+    if (!env)
+        return 1;
+    const long v = std::strtol(env, nullptr, 10);
+    return v >= 0 ? static_cast<unsigned>(v) : 1;
+}();
+
 std::string
 cachePath(core::MachineKind machine)
 {
@@ -32,6 +42,29 @@ cachePath(core::MachineKind machine)
 }
 
 } // namespace
+
+void
+parseArgs(int argc, char **argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        const bool is_jobs = std::strcmp(argv[i], "--jobs") == 0 ||
+                             std::strcmp(argv[i], "-j") == 0;
+        if (is_jobs && i + 1 < argc) {
+            const long v = std::strtol(argv[++i], nullptr, 10);
+            if (v < 0) {
+                std::fprintf(stderr, "[bench] ignoring negative --jobs\n");
+                continue;
+            }
+            g_jobs = static_cast<unsigned>(v);
+        }
+    }
+}
+
+unsigned
+studyJobs()
+{
+    return g_jobs;
+}
 
 void
 saveStudy(const core::StudyResult &study, const std::string &path)
@@ -58,11 +91,13 @@ sharedStudy(core::MachineKind machine)
     }
 
     std::fprintf(stderr,
-                 "[bench] measuring full %s characterization study...\n",
-                 core::toString(machine));
+                 "[bench] measuring full %s characterization study "
+                 "(jobs=%u)...\n",
+                 core::toString(machine), g_jobs);
     core::StudyConfig cfg;
     cfg.warehouses = figureWarehouseGrid();
     cfg.machine = machine;
+    cfg.jobs = g_jobs;
     cfg.onPoint = [](const core::RunResult &r) {
         std::fprintf(stderr, "[bench]   W=%u P=%u done (tps %.0f)\n",
                      r.warehouses, r.processors, r.tps);

@@ -22,6 +22,20 @@ namespace odbsim::bench
 std::vector<unsigned> figureWarehouseGrid();
 
 /**
+ * Parse the shared bench command line: `--jobs N` (or `-j N`) selects
+ * the worker count used to measure study grid points (0 = one worker
+ * per hardware thread, 1 = serial; default). The `ODBSIM_JOBS`
+ * environment variable provides the same knob for benches driven
+ * without flags; the flag wins. Unknown arguments are ignored so
+ * bench-specific flags can coexist. Results are seed-deterministic
+ * regardless of the job count.
+ */
+void parseArgs(int argc, char **argv);
+
+/** The worker count selected by parseArgs()/ODBSIM_JOBS (default 1). */
+unsigned studyJobs();
+
+/**
  * Obtain the full characterization study for @p machine, from the CSV
  * cache when present, measuring (and caching) otherwise.
  */

@@ -4,10 +4,15 @@
  * the headline metrics of the study — the quickest way to see the
  * cached/balanced/scaled structure of the configuration space.
  *
- *   ./scaling_sweep [machine]   (machine: xeon | itanium2)
+ *   ./scaling_sweep [machine] [--jobs N]   (machine: xeon | itanium2)
+ *
+ * --jobs N measures the independent grid points on N worker threads
+ * (0 = one per hardware thread); the results are identical to the
+ * serial default, only wall-clock time changes.
  */
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 
 #include "analysis/table.hh"
@@ -20,8 +25,13 @@ main(int argc, char **argv)
     using analysis::TextTable;
 
     core::StudyConfig cfg;
-    if (argc > 1 && std::strcmp(argv[1], "itanium2") == 0)
-        cfg.machine = core::MachineKind::Itanium2Quad;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "itanium2") == 0)
+            cfg.machine = core::MachineKind::Itanium2Quad;
+        else if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc)
+            cfg.jobs = static_cast<unsigned>(
+                std::strtoul(argv[++i], nullptr, 10));
+    }
     cfg.onPoint = [](const core::RunResult &r) {
         std::fprintf(stderr, "  measured W=%u P=%u C=%u\n", r.warehouses,
                      r.processors, r.clients);

@@ -15,7 +15,18 @@
 namespace odbsim::analysis
 {
 
-/** Multiprocessor transaction throughput predicted by the iron law. */
+/**
+ * @brief Multiprocessor transaction throughput predicted by the iron
+ * law.
+ *
+ * @param processors Processor count P.
+ * @param freq_hz    Clock frequency F in Hz (cycles per second).
+ * @param ipx        Instructions per transaction (raw count, not
+ *                   millions).
+ * @param cpi        Cycles per instruction.
+ * @return Transactions per second; 0 if @p ipx or @p cpi is
+ *         non-positive.
+ */
 inline double
 ironLawTps(unsigned processors, double freq_hz, double ipx, double cpi)
 {
@@ -25,8 +36,15 @@ ironLawTps(unsigned processors, double freq_hz, double ipx, double cpi)
 }
 
 /**
- * The iron law solved for IPX given an observed throughput — useful
- * for cross-checking measured path lengths.
+ * @brief The iron law solved for IPX given an observed throughput —
+ * useful for cross-checking measured path lengths.
+ *
+ * @param processors Processor count P.
+ * @param freq_hz    Clock frequency F in Hz.
+ * @param tps        Observed transactions per second.
+ * @param cpi        Cycles per instruction.
+ * @return Instructions per transaction implied by the other three
+ *         terms; 0 if @p tps or @p cpi is non-positive.
  */
 inline double
 ironLawIpx(unsigned processors, double freq_hz, double tps, double cpi)
@@ -37,8 +55,15 @@ ironLawIpx(unsigned processors, double freq_hz, double tps, double cpi)
 }
 
 /**
- * Utilization-corrected iron law: with CPUs busy a fraction u of the
- * time, the delivered throughput is u * P * F / (IPX * CPI).
+ * @brief Utilization-corrected iron law: with CPUs busy a fraction u
+ * of the time, the delivered throughput is u * P * F / (IPX * CPI).
+ *
+ * @param processors  Processor count P.
+ * @param freq_hz     Clock frequency F in Hz.
+ * @param ipx         Instructions per transaction.
+ * @param cpi         Cycles per instruction.
+ * @param utilization CPU busy fraction u in [0, 1].
+ * @return Transactions per second delivered at that utilization.
  */
 inline double
 ironLawTpsAtUtilization(unsigned processors, double freq_hz, double ipx,

@@ -18,23 +18,33 @@
 namespace odbsim::analysis
 {
 
-/** A fitted two-segment model. */
+/**
+ * @brief A fitted two-segment model.
+ *
+ * The x axis is the study's configuration scale (warehouses); the y
+ * axis is whatever metric was fit (CPI in cycles/instruction for
+ * Figure 17, L3 MPI in misses/instruction for Figure 18).
+ */
 struct PiecewiseFit
 {
     /** Left segment (the cached region). */
     LinearFit cached;
     /** Right segment (the scaled region). */
     LinearFit scaled;
-    /** x of the segment intersection — the pivot point. */
+    /** x of the segment intersection — the pivot point (warehouses). */
     double pivotX = 0.0;
-    /** Model value at the pivot. */
+    /** Model value at the pivot (units of the fitted metric). */
     double pivotY = 0.0;
     /** First sample index belonging to the scaled segment. */
     std::size_t breakIndex = 0;
-    /** Total SSE of both segments. */
+    /** Total sum of squared errors of both segments. */
     double sse = 0.0;
 
-    /** Evaluate the model (cached line left of the pivot). */
+    /**
+     * @brief Evaluate the model (cached line left of the pivot).
+     * @param x Configuration scale (warehouses).
+     * @return Modeled metric value at @p x.
+     */
     double
     predict(double x) const
     {
@@ -43,17 +53,25 @@ struct PiecewiseFit
 };
 
 /**
- * Fit a two-segment model by scanning every admissible breakpoint
- * (at least two points per segment) and keeping the split with the
- * lowest total SSE. Inputs must be sorted by x; needs >= 4 points.
+ * @brief Fit a two-segment model by scanning every admissible
+ * breakpoint (at least two points per segment) and keeping the split
+ * with the lowest total SSE.
+ *
+ * @param xs Sample x values (warehouses), sorted ascending; >= 4.
+ * @param ys Metric values, one per x, same length.
+ * @return The best-SSE two-segment fit with its pivot point.
  */
 PiecewiseFit fitTwoSegment(std::span<const double> xs,
                            std::span<const double> ys);
 
 /**
- * Extrapolate the scaled-region line of @p fit to configuration @p x
- * (the paper's use of the pivot: behaviours of larger setups follow
- * the scaled line).
+ * @brief Extrapolate the scaled-region line of @p fit to
+ * configuration @p x (the paper's use of the pivot: behaviours of
+ * larger setups follow the scaled line).
+ *
+ * @param fit A model from fitTwoSegment().
+ * @param x   Configuration scale (warehouses), typically > pivotX.
+ * @return The scaled-region line's value at @p x.
  */
 double extrapolateScaled(const PiecewiseFit &fit, double x);
 

@@ -3,6 +3,15 @@
  * ExperimentRunner: build a machine + database + workload for one OLTP
  * configuration, warm it up, measure it, and return a RunResult — one
  * data point of the paper's characterization.
+ *
+ * Unit conventions used throughout the core API:
+ *  - durations are simulated Ticks (1 tick = 1 picosecond; see
+ *    sim/types.hh helpers ticksFromSeconds()/secondsFromTicks());
+ *  - IPX values are instructions per transaction (RunResult reports
+ *    them raw; figures display millions);
+ *  - MPI values are misses per instruction (figures display
+ *    misses per 1000 instructions, i.e. MPI × 1e3);
+ *  - CPI values are cycles per instruction, dimensionless.
  */
 
 #ifndef ODBSIM_CORE_EXPERIMENT_HH
@@ -17,50 +26,80 @@
 namespace odbsim::core
 {
 
-/** One point of the OLTP configuration space (Section 3.2). */
+/** @brief One point of the OLTP configuration space (Section 3.2). */
 struct OltpConfiguration
 {
-    /** Workload scale (the cached-vs-scaled axis). */
+    /** Workload scale in warehouses (the cached-vs-scaled axis). */
     unsigned warehouses = 10;
-    /** Processors enabled. */
+    /** Processors enabled on the machine preset. */
     unsigned processors = 4;
     /** Concurrent clients; 0 selects the paper's Table 1 value. */
     unsigned clients = 0;
+    /** Machine preset to measure on. */
     MachineKind machine = MachineKind::XeonQuadMp;
 };
 
-/** Simulation-control knobs. */
+/**
+ * @brief Simulation-control knobs, shared by every run of a study.
+ *
+ * An entire run is a pure function of (configuration, knobs): every
+ * RNG stream is derived from @ref seed plus configuration fields, so
+ * two runs with equal inputs are bit-identical — including runs
+ * executed concurrently on different host threads.
+ */
 struct RunKnobs
 {
-    /** Dynamic warm-up after the instant buffer-cache prefill. */
+    /** Dynamic warm-up (in Ticks of simulated time) after the instant
+     *  buffer-cache prefill; scaled up with warehouses internally. */
     Tick warmup = ticksFromSeconds(0.4);
-    /** Measurement window. */
+    /** Measurement window in Ticks of simulated time. */
     Tick measure = ticksFromSeconds(1.5);
-    /** CPU-model set-sampling factor. */
+    /** CPU-model set-sampling factor: 1 of every N cache sets is
+     *  simulated (16 reproduces the paper's error envelope). */
     std::uint32_t samplePeriod = 16;
+    /** Master seed; all per-run streams derive from it. */
     std::uint64_t seed = 42;
     /** Pre-populate the buffer cache in hotness order (substitute for
      *  the paper's 20-minute warm-up). */
     bool instantWarm = true;
-    /** IOQ residency of the 1P baseline for the Table 4 L3 formula. */
+    /** IOQ residency (bus cycles) of the 1P baseline for the Table 4
+     *  L3 stall formula; the paper measured 102. */
     double ioq1pCycles = 102.0;
 };
 
 /**
- * Runs one configuration end to end.
+ * @brief Runs one configuration end to end.
+ *
+ * Stateless: each call constructs its own System, Database and
+ * Workload, so concurrent calls from different threads are safe and
+ * independent (this is what the parallel ScalingStudy executor relies
+ * on).
  */
 class ExperimentRunner
 {
   public:
-    /** Measure @p cfg and return its metrics. */
+    /**
+     * @brief Measure @p cfg and return its metrics.
+     * @param cfg   The grid point (warehouses, processors, clients,
+     *              machine preset).
+     * @param knobs Simulation control (windows in Ticks, seed,
+     *              sampling).
+     * @return All RunResult metrics over the measurement window.
+     */
     static RunResult run(const OltpConfiguration &cfg,
                          const RunKnobs &knobs = {});
 
     /**
-     * Measure a configuration on a hand-built machine (ablations:
-     * custom cache sizes, disk counts, bus parameters).
+     * @brief Measure a configuration on a hand-built machine
+     * (ablations: custom cache sizes, disk counts, bus parameters).
      *
-     * @param clients 0 selects the paper's Table 1 value.
+     * @param preset     Machine description (CPUs, caches, disks, bus).
+     * @param warehouses Workload scale in warehouses.
+     * @param clients    Concurrent clients; 0 selects the paper's
+     *                   Table 1 value.
+     * @param knobs      Simulation control (windows in Ticks, seed,
+     *                   sampling).
+     * @return All RunResult metrics over the measurement window.
      */
     static RunResult runWithPreset(const MachinePreset &preset,
                                    unsigned warehouses, unsigned clients,

@@ -1,6 +1,10 @@
 #include "core/scaling_study.hh"
 
+#include <mutex>
+#include <thread>
+
 #include "sim/logging.hh"
+#include "sim/thread_pool.hh"
 
 namespace odbsim::core
 {
@@ -41,26 +45,68 @@ StudyResult::forProcessors(unsigned p) const
     odbsim_fatal("no series for ", p, " processors in study result");
 }
 
+namespace
+{
+
+/** Map the jobs knob to a worker count for a grid of @p points. */
+unsigned
+resolveJobs(unsigned jobs, std::size_t points)
+{
+    if (jobs == 0) {
+        jobs = std::thread::hardware_concurrency();
+        if (jobs == 0)
+            jobs = 1;
+    }
+    if (points < static_cast<std::size_t>(jobs))
+        jobs = static_cast<unsigned>(points);
+    return jobs;
+}
+
+} // namespace
+
 StudyResult
 ScalingStudy::run(const StudyConfig &cfg)
 {
     odbsim_assert(!cfg.warehouses.empty() && !cfg.processors.empty(),
                   "empty study grid");
+
+    const std::size_t nw = cfg.warehouses.size();
+    const std::size_t total = cfg.processors.size() * nw;
+
+    // Pre-size the grid so every point has a fixed slot: results are
+    // collected by grid index, never by completion order, which is
+    // what keeps the parallel path bit-identical to the serial one.
     StudyResult out;
-    for (const unsigned p : cfg.processors) {
-        StudySeries series;
-        series.processors = p;
-        for (const unsigned w : cfg.warehouses) {
-            OltpConfiguration point;
-            point.warehouses = w;
-            point.processors = p;
-            point.machine = cfg.machine;
-            RunResult r = ExperimentRunner::run(point, cfg.knobs);
-            if (cfg.onPoint)
-                cfg.onPoint(r);
-            series.points.push_back(std::move(r));
+    out.series.resize(cfg.processors.size());
+    for (std::size_t pi = 0; pi < cfg.processors.size(); ++pi) {
+        out.series[pi].processors = cfg.processors[pi];
+        out.series[pi].points.resize(nw);
+    }
+
+    std::mutex progress_mutex;
+    const auto runPoint = [&](std::size_t pi, std::size_t wi) {
+        OltpConfiguration point;
+        point.warehouses = cfg.warehouses[wi];
+        point.processors = cfg.processors[pi];
+        point.machine = cfg.machine;
+        RunResult r = ExperimentRunner::run(point, cfg.knobs);
+        if (cfg.onPoint) {
+            std::lock_guard<std::mutex> lock(progress_mutex);
+            cfg.onPoint(r);
         }
-        out.series.push_back(std::move(series));
+        out.series[pi].points[wi] = std::move(r);
+    };
+
+    const unsigned jobs = resolveJobs(cfg.jobs, total);
+    if (jobs <= 1) {
+        // Legacy serial path: grid order, no worker threads.
+        for (std::size_t pi = 0; pi < cfg.processors.size(); ++pi)
+            for (std::size_t wi = 0; wi < nw; ++wi)
+                runPoint(pi, wi);
+    } else {
+        ThreadPool pool(jobs);
+        pool.parallelFor(total,
+                         [&](std::size_t k) { runPoint(k / nw, k % nw); });
     }
     return out;
 }

@@ -3,6 +3,11 @@
  * ScalingStudy: the paper's full characterization sweep — measure a
  * grid of (warehouses × processors) configurations and derive the
  * Section 6 piecewise-linear models and pivot points.
+ *
+ * Grid points are independent simulations (each derives every RNG
+ * stream from its own seed), so the sweep can be executed by a worker
+ * pool; see StudyConfig::jobs. The StudyResult is bit-identical for
+ * any jobs value.
  */
 
 #ifndef ODBSIM_CORE_SCALING_STUDY_HH
@@ -18,25 +23,55 @@
 namespace odbsim::core
 {
 
-/** Sweep definition. */
+/**
+ * @brief Sweep definition: the (warehouses × processors) grid, the
+ * machine preset, the per-run simulation knobs, and the host-side
+ * execution policy.
+ */
 struct StudyConfig
 {
+    /** Warehouse axis (workload scale), ascending. */
     std::vector<unsigned> warehouses = {10,  25,  35,  50,  75,  100,
                                         150, 200, 300, 400, 600, 800};
+    /** Processor-count axis; one StudySeries per entry. */
     std::vector<unsigned> processors = {1, 2, 4};
+    /** Machine preset every point is measured on. */
     MachineKind machine = MachineKind::XeonQuadMp;
+    /** Simulation-control knobs shared by every point (seed included;
+     *  per-point streams are derived from it plus the configuration). */
     RunKnobs knobs;
-    /** Optional progress callback (per finished configuration). */
+    /**
+     * Host worker threads used to execute grid points concurrently.
+     *
+     * 0 = one worker per hardware thread (auto); 1 = the legacy serial
+     * path; N>1 = a fixed pool of N workers. The StudyResult is
+     * bit-identical for every value — points are independent and are
+     * collected by grid index, not completion order. Only the
+     * invocation order of onPoint changes.
+     */
+    unsigned jobs = 1;
+    /**
+     * Optional progress callback (per finished configuration).
+     *
+     * With jobs != 1 it is invoked from worker threads, serialized by
+     * an internal mutex (so plain stdio printing is safe), in
+     * completion order rather than grid order.
+     */
     std::function<void(const RunResult &)> onPoint;
 };
 
-/** All measurements for one processor count. */
+/** @brief All measurements for one processor count. */
 struct StudySeries
 {
+    /** Processor count this series was measured at. */
     unsigned processors = 0;
     std::vector<RunResult> points; ///< Ordered by warehouses.
 
-    /** Extract one metric across the warehouse axis. */
+    /**
+     * @brief Extract one metric across the warehouse axis.
+     * @param get Projection from a measured point to the metric value.
+     * @return One value per point, in warehouse order.
+     */
     std::vector<double>
     metric(const std::function<double(const RunResult &)> &get) const
     {
@@ -47,30 +82,43 @@ struct StudySeries
         return out;
     }
 
-    /** The warehouse axis as doubles. */
+    /** @brief The warehouse axis as doubles (for the fitters). */
     std::vector<double> warehouseAxis() const;
 
-    /** Two-segment fit of CPI over warehouses (Figure 17). */
+    /** @brief Two-segment fit of CPI over warehouses (Figure 17). */
     analysis::PiecewiseFit cpiFit() const;
 
-    /** Two-segment fit of L3 MPI over warehouses (Figure 18). */
+    /** @brief Two-segment fit of L3 MPI over warehouses (Figure 18). */
     analysis::PiecewiseFit mpiFit() const;
 };
 
-/** Full study output. */
+/** @brief Full study output: one series per processor count. */
 struct StudyResult
 {
     std::vector<StudySeries> series; ///< One per processor count.
 
+    /**
+     * @brief The series measured with @p p processors.
+     * Fatal if the study holds no such series.
+     */
     const StudySeries &forProcessors(unsigned p) const;
 };
 
 /**
- * Runs the sweep.
+ * @brief Runs the sweep described by a StudyConfig.
  */
 class ScalingStudy
 {
   public:
+    /**
+     * @brief Measure every (warehouses, processors) grid point.
+     *
+     * With cfg.jobs != 1 the independent points are dispatched to a
+     * ThreadPool; results land in their grid slot regardless of
+     * completion order, so the returned StudyResult is bit-identical
+     * to the serial path. A failure (fatal/panic) in any point
+     * terminates the process exactly as in the serial path.
+     */
     static StudyResult run(const StudyConfig &cfg);
 };
 

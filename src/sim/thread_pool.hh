@@ -1,0 +1,129 @@
+/**
+ * @file
+ * A small fixed-size worker pool for running independent host-side
+ * tasks — the execution engine behind parallel scaling studies. The
+ * simulator itself stays single-threaded and deterministic; the pool
+ * only ever runs *whole simulations* (or other self-contained jobs)
+ * concurrently, never parts of one.
+ *
+ * Determinism contract: tasks must not share mutable state (each
+ * ExperimentRunner::run call builds its own System/Database/Workload
+ * and derives every RNG stream from the per-run seed), so any
+ * interleaving of task execution produces bit-identical results.
+ * Callers that need ordered output must collect results by task index,
+ * not completion order — see ScalingStudy::run.
+ */
+
+#ifndef ODBSIM_SIM_THREAD_POOL_HH
+#define ODBSIM_SIM_THREAD_POOL_HH
+
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace odbsim
+{
+
+/**
+ * Fixed-size thread pool.
+ *
+ * Workers are started in the constructor and joined in the destructor;
+ * the pool is reusable across any number of submit()/parallelFor()
+ * rounds. Submitting from multiple threads is safe; submitting after
+ * shutdown() throws.
+ */
+class ThreadPool
+{
+  public:
+    /**
+     * Start @p threads workers.
+     *
+     * @param threads Worker count; 0 selects
+     *        std::thread::hardware_concurrency() (at least 1).
+     */
+    explicit ThreadPool(unsigned threads = 0);
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Drains nothing: pending tasks are completed, then workers join. */
+    ~ThreadPool();
+
+    /** Number of worker threads. */
+    unsigned size() const { return static_cast<unsigned>(workers_.size()); }
+
+    /**
+     * Enqueue @p fn for execution on a worker.
+     *
+     * @return A future for fn's result; exceptions thrown by fn are
+     *         captured and rethrown from future::get().
+     */
+    template <typename F>
+    auto
+    submit(F &&fn) -> std::future<std::invoke_result_t<std::decay_t<F>>>
+    {
+        using Ret = std::invoke_result_t<std::decay_t<F>>;
+        auto task = std::make_shared<std::packaged_task<Ret()>>(
+            std::forward<F>(fn));
+        std::future<Ret> result = task->get_future();
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            if (stop_)
+                throw std::runtime_error("ThreadPool: submit after stop");
+            tasks_.emplace([task] { (*task)(); });
+        }
+        cv_.notify_one();
+        return result;
+    }
+
+    /**
+     * Run fn(0) … fn(n-1) on the pool and block until all complete.
+     *
+     * Tasks may run in any order and concurrently; indices provide the
+     * deterministic identity for collecting results. If one or more
+     * invocations throw, every task is still completed (no partial
+     * cancellation) and the exception of the lowest-indexed failing
+     * task is rethrown here.
+     */
+    template <typename Fn>
+    void
+    parallelFor(std::size_t n, Fn &&fn)
+    {
+        std::vector<std::future<void>> pending;
+        pending.reserve(n);
+        for (std::size_t i = 0; i < n; ++i)
+            pending.push_back(submit([&fn, i] { fn(i); }));
+        std::exception_ptr first;
+        for (auto &f : pending) {
+            try {
+                f.get();
+            } catch (...) {
+                if (!first)
+                    first = std::current_exception();
+            }
+        }
+        if (first)
+            std::rethrow_exception(first);
+    }
+
+  private:
+    void workerLoop();
+
+    std::vector<std::thread> workers_;
+    std::queue<std::function<void()>> tasks_;
+    std::mutex mutex_;
+    std::condition_variable cv_;
+    bool stop_ = false;
+};
+
+} // namespace odbsim
+
+#endif // ODBSIM_SIM_THREAD_POOL_HH

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Tests for the fixed-size worker pool: submit/futures, parallelFor
+ * coverage and blocking semantics, exception propagation, and reuse
+ * of one pool across many dispatch rounds.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "sim/thread_pool.hh"
+
+namespace
+{
+
+using namespace odbsim;
+
+TEST(ThreadPool, SizeDefaultsToAtLeastOne)
+{
+    ThreadPool pool(0); // 0 = hardware concurrency, clamped to >= 1
+    EXPECT_GE(pool.size(), 1u);
+    ThreadPool fixed(3);
+    EXPECT_EQ(fixed.size(), 3u);
+}
+
+TEST(ThreadPool, SubmitReturnsResultThroughFuture)
+{
+    ThreadPool pool(2);
+    auto f = pool.submit([] { return 6 * 7; });
+    EXPECT_EQ(f.get(), 42);
+}
+
+TEST(ThreadPool, SubmitPropagatesExceptionThroughFuture)
+{
+    ThreadPool pool(2);
+    auto f = pool.submit(
+        []() -> int { throw std::runtime_error("boom"); });
+    EXPECT_THROW(f.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, ParallelForCoversEveryIndexExactlyOnce)
+{
+    ThreadPool pool(4);
+    constexpr std::size_t n = 200;
+    std::vector<int> hits(n, 0); // distinct slots: no data race
+    pool.parallelFor(n, [&](std::size_t i) { hits[i] += 1; });
+    EXPECT_EQ(std::accumulate(hits.begin(), hits.end(), 0),
+              static_cast<int>(n));
+    for (std::size_t i = 0; i < n; ++i)
+        EXPECT_EQ(hits[i], 1) << "index " << i;
+}
+
+TEST(ThreadPool, ParallelForBlocksUntilAllTasksComplete)
+{
+    ThreadPool pool(3);
+    std::atomic<int> done{0};
+    pool.parallelFor(64, [&](std::size_t) {
+        done.fetch_add(1, std::memory_order_relaxed);
+    });
+    // parallelFor returned, so every task must have finished.
+    EXPECT_EQ(done.load(), 64);
+}
+
+TEST(ThreadPool, ParallelForRethrowsLowestIndexedException)
+{
+    ThreadPool pool(4);
+    std::atomic<int> completed{0};
+    try {
+        pool.parallelFor(32, [&](std::size_t i) {
+            if (i == 5 || i == 20)
+                throw std::invalid_argument(std::to_string(i));
+            completed.fetch_add(1, std::memory_order_relaxed);
+        });
+        FAIL() << "expected an exception";
+    } catch (const std::invalid_argument &e) {
+        EXPECT_STREQ(e.what(), "5"); // lowest failing index wins
+    }
+    // No partial cancellation: every non-throwing task still ran.
+    EXPECT_EQ(completed.load(), 30);
+}
+
+TEST(ThreadPool, PoolIsReusableAcrossRounds)
+{
+    ThreadPool pool(2);
+    std::atomic<long> sum{0};
+    for (int round = 0; round < 5; ++round)
+        pool.parallelFor(10, [&](std::size_t i) {
+            sum.fetch_add(static_cast<long>(i), std::memory_order_relaxed);
+        });
+    EXPECT_EQ(sum.load(), 5 * 45);
+    // And submit() still works after parallelFor rounds.
+    EXPECT_EQ(pool.submit([] { return 1; }).get(), 1);
+}
+
+TEST(ThreadPool, DestructorDrainsPendingTasks)
+{
+    std::atomic<int> ran{0};
+    {
+        ThreadPool pool(1); // single worker: tasks queue up
+        for (int i = 0; i < 20; ++i)
+            pool.submit([&] { ran.fetch_add(1); });
+    } // destructor joins after the queue drains
+    EXPECT_EQ(ran.load(), 20);
+}
+
+} // namespace
