@@ -30,6 +30,12 @@ unsigned g_jobs = []() -> unsigned {
     return v >= 0 ? static_cast<unsigned>(v) : 1;
 }();
 
+/** Per-point wall-time reporting; seeded from ODBSIM_PROFILE. */
+bool g_profile = []() {
+    const char *env = std::getenv("ODBSIM_PROFILE");
+    return env && *env && std::strcmp(env, "0") != 0;
+}();
+
 std::string
 cachePath(core::MachineKind machine)
 {
@@ -56,6 +62,8 @@ parseArgs(int argc, char **argv)
                 continue;
             }
             g_jobs = static_cast<unsigned>(v);
+        } else if (std::strcmp(argv[i], "--profile") == 0) {
+            g_profile = true;
         }
     }
 }
@@ -64,6 +72,12 @@ unsigned
 studyJobs()
 {
     return g_jobs;
+}
+
+bool
+profileEnabled()
+{
+    return g_profile;
 }
 
 void
@@ -87,6 +101,9 @@ sharedStudy(core::MachineKind machine)
     if (!no_cache && loadStudy(path, study)) {
         std::fprintf(stderr, "[bench] loaded cached study from %s\n",
                      path.c_str());
+        if (g_profile)
+            std::fprintf(stderr, "[bench] --profile: study came from "
+                                 "the cache; no points were measured\n");
         return study;
     }
 
@@ -99,10 +116,45 @@ sharedStudy(core::MachineKind machine)
     cfg.machine = machine;
     cfg.jobs = g_jobs;
     cfg.onPoint = [](const core::RunResult &r) {
-        std::fprintf(stderr, "[bench]   W=%u P=%u done (tps %.0f)\n",
-                     r.warehouses, r.processors, r.tps);
+        if (g_profile) {
+            std::fprintf(stderr,
+                         "[bench]   W=%u P=%u done (tps %.0f) "
+                         "wall %.3fs  %" PRIu64 " events  %.2fM ev/s\n",
+                         r.warehouses, r.processors, r.tps,
+                         r.wallSeconds, r.eventsFired,
+                         r.eventsPerSec() / 1e6);
+        } else {
+            std::fprintf(stderr, "[bench]   W=%u P=%u done (tps %.0f)\n",
+                         r.warehouses, r.processors, r.tps);
+        }
     };
     study = core::ScalingStudy::run(cfg);
+    if (g_profile) {
+        double wall = 0.0;
+        std::uint64_t events = 0;
+        for (const auto &s : study.series) {
+            for (const auto &p : s.points) {
+                wall += p.wallSeconds;
+                events += p.eventsFired;
+            }
+        }
+        std::fprintf(stderr,
+                     "[bench] study total: %.3f CPU-seconds, %" PRIu64
+                     " events (%.2fM ev/s)\n",
+                     wall, events,
+                     wall > 0.0 ? static_cast<double>(events) / wall / 1e6
+                                : 0.0);
+        // Wall time is host-dependent, so the profile is a sidecar —
+        // never part of the golden study CSV.
+        std::string profile_path = path;
+        const std::string suffix = ".csv";
+        profile_path.replace(profile_path.size() - suffix.size(),
+                             suffix.size(), "_profile.csv");
+        if (core::saveStudyProfileCsv(study, profile_path))
+            std::fprintf(stderr, "[bench] wrote per-point profile to "
+                                 "%s\n",
+                         profile_path.c_str());
+    }
     if (!no_cache)
         saveStudy(study, path);
     return study;

@@ -24,16 +24,22 @@ std::vector<unsigned> figureWarehouseGrid();
 /**
  * Parse the shared bench command line: `--jobs N` (or `-j N`) selects
  * the worker count used to measure study grid points (0 = one worker
- * per hardware thread, 1 = serial; default). The `ODBSIM_JOBS`
- * environment variable provides the same knob for benches driven
- * without flags; the flag wins. Unknown arguments are ignored so
- * bench-specific flags can coexist. Results are seed-deterministic
- * regardless of the job count.
+ * per hardware thread, 1 = serial; default), and `--profile` prints
+ * per-grid-point wall time and events fired as points complete (and a
+ * study total), plus writes a `*_profile.csv` sidecar next to the
+ * study cache. The `ODBSIM_JOBS` and `ODBSIM_PROFILE` environment
+ * variables provide the same knobs for benches driven without flags;
+ * flags win. Unknown arguments are ignored so bench-specific flags can
+ * coexist. Results are seed-deterministic regardless of the job count
+ * (profiling only observes, never perturbs, the simulation).
  */
 void parseArgs(int argc, char **argv);
 
 /** The worker count selected by parseArgs()/ODBSIM_JOBS (default 1). */
 unsigned studyJobs();
+
+/** True if --profile / ODBSIM_PROFILE=1 requested per-point timing. */
+bool profileEnabled();
 
 /**
  * Obtain the full characterization study for @p machine, from the CSV

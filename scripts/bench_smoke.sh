@@ -1,0 +1,48 @@
+#!/usr/bin/env bash
+# Perf + bit-exactness smoke check.
+#
+# Builds a Release tree, runs the hot-path baseline bench (which
+# enforces the >= 1.5x event-queue speedup gate), then regenerates
+# both scaling-study CSVs into a scratch cache and diffs them against
+# the goldens committed at the repo root. Any perf regression past the
+# gate, or any single differing CSV byte, fails the script.
+#
+# Usage: scripts/bench_smoke.sh [build-dir]   (default: build-smoke)
+
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-$repo_root/build-smoke}"
+
+echo "== configure + build (Release) =="
+cmake -B "$build_dir" -S "$repo_root" -DCMAKE_BUILD_TYPE=Release
+cmake --build "$build_dir" -j "$(nproc)" --target \
+    bench_hotpath bench_fig09_cpi bench_fig19_itanium2
+
+echo "== hot-path baseline (1.5x gate) =="
+out_json="$build_dir/BENCH_hotpath.json"
+"$build_dir/bench/bench_hotpath" --out "$out_json"
+
+echo "== regenerate study CSVs with a cold cache =="
+cache_dir="$(mktemp -d)"
+trap 'rm -rf "$cache_dir"' EXIT
+ODBSIM_CACHE_DIR="$cache_dir" "$build_dir/bench/bench_fig09_cpi" > /dev/null
+ODBSIM_CACHE_DIR="$cache_dir" "$build_dir/bench/bench_fig19_itanium2" > /dev/null
+
+echo "== diff vs goldens =="
+status=0
+for golden in odbsim_study_xeon-quad-mp.csv odbsim_study_itanium2-quad.csv; do
+    if diff -q "$repo_root/$golden" "$cache_dir/$golden"; then
+        echo "OK  $golden is bit-identical"
+    else
+        echo "FAIL $golden differs from golden" >&2
+        status=1
+    fi
+done
+
+if [ "$status" -eq 0 ]; then
+    echo "bench_smoke: PASS ($out_json)"
+else
+    echo "bench_smoke: FAIL — simulated results changed" >&2
+fi
+exit "$status"

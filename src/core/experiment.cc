@@ -1,5 +1,7 @@
 #include "core/experiment.hh"
 
+#include <chrono>
+
 #include "analysis/iron_law.hh"
 #include "core/client_table.hh"
 #include "db/database.hh"
@@ -23,6 +25,8 @@ ExperimentRunner::runWithPreset(const MachinePreset &preset,
                                 unsigned warehouses, unsigned cfg_clients,
                                 const RunKnobs &knobs)
 {
+    const auto wall_start = std::chrono::steady_clock::now();
+
     os::System sys(preset.sys);
 
     db::DatabaseConfig dbcfg;
@@ -133,6 +137,15 @@ ExperimentRunner::runWithPreset(const MachinePreset &preset,
 
     r.breakdown =
         analysis::computeCpiBreakdown(r.counters, knobs.ioq1pCycles);
+
+    // Host-side profiling: what this point cost to produce. Filled
+    // last so the wall time covers construction, warm-up, measurement
+    // and metric extraction alike.
+    r.eventsFired = sys.eq().eventsFired();
+    r.wallSeconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      wall_start)
+            .count();
     return r;
 }
 

@@ -74,6 +74,30 @@ struct RunResult
 
     /** Raw counter deltas over the window. */
     perfmon::SystemCounters counters;
+
+    /**
+     * @name Host-side profiling (observability only)
+     *
+     * Wall-clock cost of producing this point. eventsFired is
+     * deterministic (a property of the simulation), wallSeconds is
+     * not — neither participates in the golden study CSVs, which must
+     * regenerate bit-identically; saveStudyProfileCsv writes them to a
+     * separate sidecar instead.
+     * @{
+     */
+    /** Host wall-clock seconds consumed by the whole run. */
+    double wallSeconds = 0.0;
+    /** Simulation-kernel events fired over the whole run. */
+    std::uint64_t eventsFired = 0;
+    /** Kernel event throughput on the host (0 if not timed). */
+    double
+    eventsPerSec() const
+    {
+        return wallSeconds > 0.0
+                   ? static_cast<double>(eventsFired) / wallSeconds
+                   : 0.0;
+    }
+    /** @} */
 };
 
 } // namespace odbsim::core

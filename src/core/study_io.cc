@@ -56,6 +56,31 @@ saveStudyCsv(const StudyResult &study, const std::string &path)
     return static_cast<bool>(out);
 }
 
+void
+saveStudyProfileCsv(const StudyResult &study, std::ostream &out)
+{
+    out << "processors,warehouses,wallSeconds,eventsFired,eventsPerSec"
+        << "\n";
+    out.precision(6);
+    for (const auto &series : study.series) {
+        for (const auto &r : series.points) {
+            out << r.processors << ',' << r.warehouses << ','
+                << r.wallSeconds << ',' << r.eventsFired << ','
+                << r.eventsPerSec() << "\n";
+        }
+    }
+}
+
+bool
+saveStudyProfileCsv(const StudyResult &study, const std::string &path)
+{
+    std::ofstream out(path);
+    if (!out)
+        return false;
+    saveStudyProfileCsv(study, out);
+    return static_cast<bool>(out);
+}
+
 bool
 loadStudyCsv(std::istream &in, StudyResult &out)
 {

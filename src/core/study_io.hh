@@ -20,6 +20,18 @@ void saveStudyCsv(const StudyResult &study, std::ostream &out);
 bool saveStudyCsv(const StudyResult &study, const std::string &path);
 
 /**
+ * Serialize the host-side profile of a study (per-point wall time,
+ * events fired, events/sec) as CSV.
+ *
+ * Deliberately a separate sidecar, never part of saveStudyCsv: wall
+ * time is nondeterministic, and the golden study CSVs must regenerate
+ * bit-identically across hosts and runs.
+ */
+void saveStudyProfileCsv(const StudyResult &study, std::ostream &out);
+bool saveStudyProfileCsv(const StudyResult &study,
+                         const std::string &path);
+
+/**
  * Parse a study from CSV written by saveStudyCsv.
  * @return false on missing file or malformed content.
  */

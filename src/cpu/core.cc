@@ -20,7 +20,9 @@ CpuCore::CpuCore(unsigned id, const CoreConfig &cfg,
                  unsigned mem_cpu_id)
     : id_(id), memId_(mem_cpu_id == ~0u ? id : mem_cpu_id), cfg_(cfg),
       clock_(cfg.freqHz), memsys_(memsys),
-      rng_(seed ^ (0x9e3779b97f4a7c15ULL * (id + 1)))
+      rng_(seed ^ (0x9e3779b97f4a7c15ULL * (id + 1))),
+      codeLinear_(cfg.codeHotExponent == 1.0),
+      dataLinear_(cfg.dataHotExponent == 1.0)
 {
     odbsim_assert(cfg.samplePeriod == memsys.sampleFactor(),
                   "core samplePeriod (", cfg.samplePeriod,
@@ -30,23 +32,31 @@ CpuCore::CpuCore(unsigned id, const CoreConfig &cfg,
                   "mem cpu id out of range");
 }
 
-Addr
-CpuCore::thinnedRegionAddr(Addr base, std::uint64_t bytes, double exp)
+CpuCore::RegionStream
+CpuCore::makeStream(Addr base, std::uint64_t bytes, std::uint64_t stride)
 {
-    // Pick among the region's *sampled* lines (every S-th line) with a
-    // power-law concentration toward the region start.
-    const std::uint64_t stride = lineBytes * cfg_.samplePeriod;
-    const std::uint64_t lines = std::max<std::uint64_t>(1, bytes / stride);
-    const double u = rng_.uniform();
-    std::uint64_t idx =
-        static_cast<std::uint64_t>(std::pow(u, exp) *
-                                   static_cast<double>(lines));
-    if (idx >= lines)
-        idx = lines - 1;
+    RegionStream s;
+    s.lines = std::max<std::uint64_t>(1, bytes / stride);
+    s.linesD = static_cast<double>(s.lines);
     // Align the region base itself to the sampled-line grid so reuse
     // across work items of the same region is exact.
-    const Addr aligned_base = base / stride * stride;
-    return aligned_base + idx * stride;
+    s.alignedBase = base / stride * stride;
+    return s;
+}
+
+Addr
+CpuCore::sampleStream(const RegionStream &s, double exp, bool linear,
+                      std::uint64_t stride)
+{
+    // Pick among the region's *sampled* lines (every S-th line) with a
+    // power-law concentration toward the region start. pow(u, 1.0) is
+    // exactly u in IEEE arithmetic, so the linear path is bit-exact.
+    const double u = rng_.uniform();
+    const double skewed = linear ? u : std::pow(u, exp);
+    std::uint64_t idx = static_cast<std::uint64_t>(skewed * s.linesD);
+    if (idx >= s.lines)
+        idx = s.lines - 1;
+    return s.alignedBase + idx * stride;
 }
 
 double
@@ -86,16 +96,22 @@ CpuCore::execute(const WorkItem &item, Tick now, double cycle_scale)
     cycles += tlb_misses * cfg_.costs.tlbMissCycles;
 
     // Code stream: references reaching L2 after trace-cache misses.
+    // The stream descriptor (alignment, line count) is invariant per
+    // WorkItem and hoisted out of the reference loop.
     codeCarry_ += instr * cfg_.codeL2RefsPerInstr / k;
     std::uint64_t n_code = static_cast<std::uint64_t>(codeCarry_);
     codeCarry_ -= static_cast<double>(n_code);
-    for (std::uint64_t i = 0; i < n_code; ++i) {
-        const Addr addr = thinnedRegionAddr(
+    if (n_code) {
+        const RegionStream code = makeStream(
             item.codeBase, std::max<std::uint64_t>(item.codeBytes, stride),
-            cfg_.codeHotExponent);
-        const mem::AccessResult res = memsys_.access(
-            memId_, addr, mem::AccessKind::CodeFetch, mode, now);
-        cycles += stallCyclesFor(res, true) * k;
+            stride);
+        for (std::uint64_t i = 0; i < n_code; ++i) {
+            const Addr addr = sampleStream(code, cfg_.codeHotExponent,
+                                           codeLinear_, stride);
+            const mem::AccessResult res = memsys_.access(
+                memId_, addr, mem::AccessKind::CodeFetch, mode, now);
+            cycles += stallCyclesFor(res, true) * k;
+        }
     }
 
     // Data region streams.
@@ -112,29 +128,38 @@ CpuCore::execute(const WorkItem &item, Tick now, double cycle_scale)
     if (total_weight <= 0.0)
         n_data = 0;
 
-    for (std::uint64_t i = 0; i < n_data; ++i) {
-        double pick = rng_.uniform() * total_weight;
-        Addr addr;
-        bool write;
-        if ((pick -= wp) < 0.0) {
-            addr = thinnedRegionAddr(item.privateBase, item.privateBytes,
-                                     cfg_.dataHotExponent);
-            write = rng_.chance(cfg_.privateWriteFraction);
-        } else if ((pick -= ws) < 0.0) {
-            addr = thinnedRegionAddr(item.sharedBase, item.sharedBytes,
-                                     cfg_.dataHotExponent);
-            write = rng_.chance(0.10);
-        } else {
-            addr = thinnedRegionAddr(
-                item.frameAddr,
-                std::max<std::uint32_t>(item.frameBytes, lineBytes), 1.0);
-            write = rng_.chance(cfg_.frameWriteFraction);
+    if (n_data) {
+        const RegionStream priv =
+            makeStream(item.privateBase, item.privateBytes, stride);
+        const RegionStream shared =
+            makeStream(item.sharedBase, item.sharedBytes, stride);
+        const RegionStream frame = makeStream(
+            item.frameAddr,
+            std::max<std::uint32_t>(item.frameBytes, lineBytes), stride);
+        for (std::uint64_t i = 0; i < n_data; ++i) {
+            double pick = rng_.uniform() * total_weight;
+            Addr addr;
+            bool write;
+            if ((pick -= wp) < 0.0) {
+                addr = sampleStream(priv, cfg_.dataHotExponent,
+                                    dataLinear_, stride);
+                write = rng_.chance(cfg_.privateWriteFraction);
+            } else if ((pick -= ws) < 0.0) {
+                addr = sampleStream(shared, cfg_.dataHotExponent,
+                                    dataLinear_, stride);
+                write = rng_.chance(0.10);
+            } else {
+                // The frame stream's exponent is 1.0: pure identity.
+                addr = sampleStream(frame, 1.0, true, stride);
+                write = rng_.chance(cfg_.frameWriteFraction);
+            }
+            const mem::AccessResult res = memsys_.access(
+                memId_, addr,
+                write ? mem::AccessKind::DataWrite
+                      : mem::AccessKind::DataRead,
+                mode, now);
+            cycles += stallCyclesFor(res, false) * k;
         }
-        const mem::AccessResult res = memsys_.access(
-            memId_, addr,
-            write ? mem::AccessKind::DataWrite : mem::AccessKind::DataRead,
-            mode, now);
-        cycles += stallCyclesFor(res, false) * k;
     }
 
     // Exact references: feed every sampled line of each span exactly
@@ -157,6 +182,7 @@ CpuCore::execute(const WorkItem &item, Tick now, double cycle_scale)
     cycles += item.extraCycles;
     cycles *= cycle_scale;
 
+    // One batched counter write-back per WorkItem.
     ctr.instructions += instr;
     ctr.branchMispredicts += mispredicts;
     ctr.tlbMisses += tlb_misses;

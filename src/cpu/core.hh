@@ -103,9 +103,28 @@ class CpuCore
     void resetCounters() { counters_.reset(); }
 
   private:
+    /**
+     * Per-WorkItem invariants of one region stream, hoisted out of the
+     * per-reference loops: the sampled-line grid alignment and line
+     * count depend only on (base, bytes, stride), so computing them
+     * once per item removes two 64-bit divisions per reference.
+     */
+    struct RegionStream
+    {
+        Addr alignedBase = 0;
+        std::uint64_t lines = 1;
+        double linesD = 1.0;
+    };
+
+    static RegionStream makeStream(Addr base, std::uint64_t bytes,
+                                   std::uint64_t stride);
+    /** A sampled-line address within the stream, hot-skewed by @p exp.
+     *  @p linear short-circuits pow() when exp == 1.0 (bit-exact:
+     *  IEEE pow(u, 1.0) == u). */
+    Addr sampleStream(const RegionStream &s, double exp, bool linear,
+                      std::uint64_t stride);
+
     double stallCyclesFor(const mem::AccessResult &res, bool is_code) const;
-    /** A sampled-line address within [base, base+bytes), hot-skewed. */
-    Addr thinnedRegionAddr(Addr base, std::uint64_t bytes, double exp);
 
     unsigned id_;
     unsigned memId_;
@@ -118,6 +137,10 @@ class CpuCore
     /** Fractional-sample carries to avoid rounding bias. */
     double dataCarry_ = 0.0;
     double codeCarry_ = 0.0;
+
+    /** Config-derived pow() bypass flags (exponent == 1.0 exactly). */
+    bool codeLinear_ = false;
+    bool dataLinear_ = false;
 };
 
 } // namespace odbsim::cpu

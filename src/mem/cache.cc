@@ -48,17 +48,21 @@ SetAssocCache::access(Addr addr, bool is_write)
     const Addr tag = tagOf(addr);
     Line *base = &lines_[set * geom_.assoc];
 
+    // valid + tag match in a single compare (dirty masked out).
+    const std::uint64_t want = (tag << Line::tagShift) | Line::validBit;
+
     Line *victim = base;
     for (std::uint32_t w = 0; w < geom_.assoc; ++w) {
         Line &line = base[w];
-        if (line.valid && line.tag == tag) {
+        if ((line.meta & ~Line::dirtyBit) == want) {
             line.lastUse = useClock_;
-            line.dirty |= is_write;
+            if (is_write)
+                line.meta |= Line::dirtyBit;
             return CacheAccessResult{true, false, false, 0};
         }
-        if (!line.valid) {
+        if (!line.valid()) {
             victim = &line;
-        } else if (victim->valid && line.lastUse < victim->lastUse) {
+        } else if (victim->valid() && line.lastUse < victim->lastUse) {
             victim = &line;
         }
     }
@@ -66,18 +70,16 @@ SetAssocCache::access(Addr addr, bool is_write)
     ++misses_;
     CacheAccessResult res;
     res.hit = false;
-    if (victim->valid) {
+    if (victim->valid()) {
         res.evicted = true;
-        res.evictedDirty = victim->dirty;
-        res.evictedLineAddr = lineAddr(victim->tag, set);
-        if (victim->dirty)
+        res.evictedDirty = victim->dirty();
+        res.evictedLineAddr = lineAddr(victim->tag(), set);
+        if (victim->dirty())
             ++writebacks_;
     } else {
         ++valid_;
     }
-    victim->valid = true;
-    victim->tag = tag;
-    victim->dirty = is_write;
+    victim->meta = want | (is_write ? Line::dirtyBit : 0);
     victim->lastUse = useClock_;
     return res;
 }
@@ -86,10 +88,11 @@ bool
 SetAssocCache::probe(Addr addr) const
 {
     const std::uint64_t set = setIndex(addr);
-    const Addr tag = tagOf(addr);
+    const std::uint64_t want =
+        (tagOf(addr) << Line::tagShift) | Line::validBit;
     const Line *base = &lines_[set * geom_.assoc];
     for (std::uint32_t w = 0; w < geom_.assoc; ++w) {
-        if (base[w].valid && base[w].tag == tag)
+        if ((base[w].meta & ~Line::dirtyBit) == want)
             return true;
     }
     return false;
@@ -99,11 +102,12 @@ bool
 SetAssocCache::probeDirty(Addr addr) const
 {
     const std::uint64_t set = setIndex(addr);
-    const Addr tag = tagOf(addr);
+    const std::uint64_t want =
+        (tagOf(addr) << Line::tagShift) | Line::validBit;
     const Line *base = &lines_[set * geom_.assoc];
     for (std::uint32_t w = 0; w < geom_.assoc; ++w) {
-        if (base[w].valid && base[w].tag == tag)
-            return base[w].dirty;
+        if ((base[w].meta & ~Line::dirtyBit) == want)
+            return base[w].dirty();
     }
     return false;
 }
@@ -112,14 +116,14 @@ bool
 SetAssocCache::invalidate(Addr addr)
 {
     const std::uint64_t set = setIndex(addr);
-    const Addr tag = tagOf(addr);
+    const std::uint64_t want =
+        (tagOf(addr) << Line::tagShift) | Line::validBit;
     Line *base = &lines_[set * geom_.assoc];
     for (std::uint32_t w = 0; w < geom_.assoc; ++w) {
         Line &line = base[w];
-        if (line.valid && line.tag == tag) {
-            const bool was_dirty = line.dirty;
-            line.valid = false;
-            line.dirty = false;
+        if ((line.meta & ~Line::dirtyBit) == want) {
+            const bool was_dirty = line.dirty();
+            line.meta = 0;
             --valid_;
             return was_dirty;
         }
@@ -130,10 +134,8 @@ SetAssocCache::invalidate(Addr addr)
 void
 SetAssocCache::flush()
 {
-    for (auto &line : lines_) {
-        line.valid = false;
-        line.dirty = false;
-    }
+    for (auto &line : lines_)
+        line.meta = 0;
     valid_ = 0;
 }
 

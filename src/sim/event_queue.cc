@@ -1,5 +1,7 @@
 #include "sim/event_queue.hh"
 
+#include <algorithm>
+
 #include "sim/logging.hh"
 
 namespace odbsim
@@ -8,46 +10,114 @@ namespace odbsim
 bool
 EventHandle::pending() const
 {
-    return slot_ && !slot_->cancelled && !slot_->fired;
+    return q_ && q_->slotPending(idx_, gen_);
 }
 
 void
 EventHandle::cancel()
 {
-    if (slot_)
-        slot_->cancelled = true;
+    if (q_)
+        q_->cancelSlot(idx_, gen_);
+}
+
+bool
+EventQueue::slotPending(std::uint32_t idx, std::uint32_t gen) const
+{
+    // A released slot has its generation bumped, so a stale handle
+    // (fired event, or a reclaimed cancelled entry) never matches.
+    if (idx >= slotCount_)
+        return false;
+    const Slot &s = slotAt(idx);
+    return s.gen == gen && !s.cancelled;
+}
+
+void
+EventQueue::cancelSlot(std::uint32_t idx, std::uint32_t gen)
+{
+    if (!slotPending(idx, gen))
+        return;
+    // The heap entry stays where it is (lazy reclamation): it is
+    // dropped, and the slot recycled, when it reaches the top.
+    slotAt(idx).cancelled = true;
+    --live_;
+}
+
+std::uint32_t
+EventQueue::acquireSlot()
+{
+    if (freeHead_ != noSlot) {
+        const std::uint32_t idx = freeHead_;
+        freeHead_ = slotAt(idx).nextFree;
+        return idx;
+    }
+    if ((slotCount_ & (chunkSlots - 1)) == 0)
+        chunks_.push_back(std::make_unique<Slot[]>(chunkSlots));
+    return slotCount_++;
+}
+
+void
+EventQueue::releaseSlot(std::uint32_t idx)
+{
+    Slot &s = slotAt(idx);
+    s.cb.reset();
+    s.cancelled = false;
+    ++s.gen; // invalidate outstanding handles before reuse
+    s.nextFree = freeHead_;
+    freeHead_ = idx;
 }
 
 EventHandle
-EventQueue::schedule(Tick when, Callback cb)
+EventQueue::scheduleSlot(Tick when)
 {
+#ifndef NDEBUG
     odbsim_assert(when >= curTick_,
                   "event scheduled in the past: ", when, " < ", curTick_);
-    auto slot = std::make_shared<EventHandle::Slot>();
-    queue_.push(Entry{when, nextSeq_++, std::move(cb), slot});
+#endif
+    if (when < curTick_)
+        when = curTick_; // release builds clamp to "fire now"
+
+    const std::uint32_t idx = acquireSlot();
+    heap_.push_back(HeapItem{when, nextSeq_++, idx});
+    std::push_heap(heap_.begin(), heap_.end(), Later{});
     ++live_;
-    return EventHandle(std::move(slot));
+    return EventHandle(this, idx, slotAt(idx).gen);
+}
+
+EventQueue::HeapItem
+EventQueue::popTop()
+{
+    const HeapItem top = heap_.front();
+    std::pop_heap(heap_.begin(), heap_.end(), Later{});
+    heap_.pop_back();
+    return top;
 }
 
 bool
 EventQueue::step()
 {
-    while (!queue_.empty()) {
-        // priority_queue::top() is const; the entry is moved out via a
-        // const_cast that is safe because we pop immediately after.
-        Entry entry = std::move(const_cast<Entry &>(queue_.top()));
-        queue_.pop();
-        if (entry.slot->cancelled) {
-            // Cancelled entries were already removed from the live count
-            // when... no: cancellation only flags the slot; account here.
-            --live_;
+    while (!heap_.empty()) {
+        const HeapItem top = popTop();
+        Slot &s = slotAt(top.idx);
+        if (s.cancelled) {
+            // live_ was already decremented when the event was
+            // cancelled; just reclaim the slot.
+            releaseSlot(top.idx);
             continue;
         }
-        curTick_ = entry.when;
-        entry.slot->fired = true;
+        curTick_ = top.when;
         --live_;
         ++fired_;
-        entry.cb();
+        // Bump the generation before invoking so the callback sees its
+        // own handle as no-longer-pending (cancel-after-fire is a
+        // no-op). The callback runs in place — slot addresses are
+        // stable and this slot is not on the freelist yet, so a
+        // reentrant schedule() cannot clobber the callable mid-call.
+        ++s.gen;
+        s.cb();
+        s.cb.reset();
+        s.cancelled = false;
+        s.nextFree = freeHead_;
+        freeHead_ = top.idx;
         return true;
     }
     return false;
@@ -56,15 +126,14 @@ EventQueue::step()
 Tick
 EventQueue::run(Tick limit)
 {
-    while (!queue_.empty()) {
-        // Skip dead entries so top() reflects the next live event.
-        while (!queue_.empty() && queue_.top().slot->cancelled) {
-            queue_.pop();
-            --live_;
+    while (!heap_.empty()) {
+        // Drop dead entries so the top reflects the next live event.
+        while (!heap_.empty() && slotAt(heap_.front().idx).cancelled) {
+            releaseSlot(popTop().idx);
         }
-        if (queue_.empty())
+        if (heap_.empty())
             break;
-        if (queue_.top().when > limit) {
+        if (heap_.front().when > limit) {
             curTick_ = limit;
             return curTick_;
         }

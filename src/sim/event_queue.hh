@@ -5,17 +5,27 @@
  *
  * Events scheduled for the same tick fire in scheduling order (FIFO),
  * which keeps runs deterministic for a fixed seed.
+ *
+ * The queue is built for the hot path: callbacks live in a chunked
+ * slab of reusable slots (addressed by index + generation, so handles
+ * stay O(1) and safe across slot reuse), the priority heap holds only
+ * 24-byte POD entries, and callback captures up to
+ * EventQueue::smallCallbackBytes are stored inline. Slot addresses are
+ * stable — chunks are never reallocated — so a callback is constructed
+ * directly in its slot at schedule() time and invoked in place when it
+ * fires: scheduling performs no heap allocation and no type-erased
+ * moves once the slab is warm. Cancelled events are reclaimed lazily
+ * when their heap entry surfaces.
  */
 
 #ifndef ODBSIM_SIM_EVENT_QUEUE_HH
 #define ODBSIM_SIM_EVENT_QUEUE_HH
 
 #include <cstdint>
-#include <functional>
 #include <memory>
-#include <queue>
 #include <vector>
 
+#include "sim/small_function.hh"
 #include "sim/types.hh"
 
 namespace odbsim
@@ -25,7 +35,11 @@ class EventQueue;
 
 /**
  * Handle to a scheduled event; allows cancellation without searching
- * the queue (the queue entry is marked dead and skipped on pop).
+ * the queue (the slot is marked dead and skipped on pop).
+ *
+ * Handles are cheap value types: copies refer to the same event, so
+ * pending()/cancel() agree across copies. A handle must not be used
+ * after its EventQueue has been destroyed.
  */
 class EventHandle
 {
@@ -35,21 +49,18 @@ class EventHandle
     /** True if the handle refers to a still-pending event. */
     bool pending() const;
 
-    /** Cancel the event if still pending. */
+    /** Cancel the event if still pending (otherwise a no-op). */
     void cancel();
 
   private:
     friend class EventQueue;
-    struct Slot
-    {
-        bool cancelled = false;
-        bool fired = false;
-    };
-    explicit EventHandle(std::shared_ptr<Slot> slot)
-        : slot_(std::move(slot))
+    EventHandle(EventQueue *q, std::uint32_t idx, std::uint32_t gen)
+        : q_(q), idx_(idx), gen_(gen)
     {}
 
-    std::shared_ptr<Slot> slot_;
+    EventQueue *q_ = nullptr;
+    std::uint32_t idx_ = 0;
+    std::uint32_t gen_ = 0;
 };
 
 /**
@@ -58,25 +69,47 @@ class EventHandle
 class EventQueue
 {
   public:
-    using Callback = std::function<void()>;
+    /** Captures up to this size are stored inline (no allocation). */
+    static constexpr std::size_t smallCallbackBytes = 112;
+
+    using Callback = SmallFunction<void(), smallCallbackBytes>;
 
     /** Current simulated time. */
     Tick curTick() const { return curTick_; }
 
-    /** Schedule a callback at an absolute tick (>= curTick). */
-    EventHandle schedule(Tick when, Callback cb);
+    /**
+     * Schedule a callback at an absolute tick.
+     *
+     * Contract: @p when must be >= curTick(). Debug builds enforce
+     * this with a panic; release builds clamp a past tick to curTick()
+     * so the event still fires (after all events already pending at
+     * the current tick).
+     *
+     * The callable is constructed directly in its slab slot — pass
+     * the lambda itself (not a pre-wrapped std::function) to stay on
+     * the allocation-free path.
+     */
+    template <typename F>
+    EventHandle
+    schedule(Tick when, F &&cb)
+    {
+        const EventHandle h = scheduleSlot(when);
+        slotAt(h.idx_).cb = std::forward<F>(cb);
+        return h;
+    }
 
     /** Schedule a callback after a relative delay. */
+    template <typename F>
     EventHandle
-    scheduleAfter(Tick delay, Callback cb)
+    scheduleAfter(Tick delay, F &&cb)
     {
-        return schedule(curTick_ + delay, std::move(cb));
+        return schedule(curTick_ + delay, std::forward<F>(cb));
     }
 
     /** True if no live events remain. */
     bool empty() const { return live_ == 0; }
 
-    /** Number of live (non-cancelled) pending events. */
+    /** Number of live pending events (cancelled entries excluded). */
     std::size_t size() const { return live_; }
 
     /**
@@ -99,18 +132,41 @@ class EventQueue
     std::uint64_t eventsFired() const { return fired_; }
 
   private:
-    struct Entry
+    friend class EventHandle;
+
+    static constexpr std::uint32_t noSlot = 0xffffffffu;
+    /** Slots per slab chunk (chunks are never moved, so slot
+     *  addresses are stable across slab growth). */
+    static constexpr std::uint32_t chunkShift = 9;
+    static constexpr std::uint32_t chunkSlots = 1u << chunkShift;
+
+    /**
+     * One slab entry. The generation counter is bumped when the event
+     * fires or a cancelled entry is reclaimed, which invalidates every
+     * outstanding handle to the old occupant before the slot is
+     * reused.
+     */
+    struct Slot
+    {
+        Callback cb;
+        std::uint32_t gen = 0;
+        std::uint32_t nextFree = noSlot;
+        bool cancelled = false;
+    };
+
+    /** Heap entry: ordering key plus the slab index — POD, 24 bytes. */
+    struct HeapItem
     {
         Tick when;
         std::uint64_t seq;
-        Callback cb;
-        std::shared_ptr<EventHandle::Slot> slot;
+        std::uint32_t idx;
     };
 
+    /** Max-heap comparator under which the earliest event is on top. */
     struct Later
     {
         bool
-        operator()(const Entry &a, const Entry &b) const
+        operator()(const HeapItem &a, const HeapItem &b) const
         {
             if (a.when != b.when)
                 return a.when > b.when;
@@ -118,7 +174,31 @@ class EventQueue
         }
     };
 
-    std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
+    Slot &
+    slotAt(std::uint32_t idx)
+    {
+        return chunks_[idx >> chunkShift][idx & (chunkSlots - 1)];
+    }
+    const Slot &
+    slotAt(std::uint32_t idx) const
+    {
+        return chunks_[idx >> chunkShift][idx & (chunkSlots - 1)];
+    }
+
+    /** Clamp/assert @p when, claim a slot and push its heap entry;
+     *  the caller fills the slot's callback. */
+    EventHandle scheduleSlot(Tick when);
+
+    bool slotPending(std::uint32_t idx, std::uint32_t gen) const;
+    void cancelSlot(std::uint32_t idx, std::uint32_t gen);
+    std::uint32_t acquireSlot();
+    void releaseSlot(std::uint32_t idx);
+    HeapItem popTop();
+
+    std::vector<std::unique_ptr<Slot[]>> chunks_;
+    std::uint32_t slotCount_ = 0;
+    std::vector<HeapItem> heap_;
+    std::uint32_t freeHead_ = noSlot;
     Tick curTick_ = 0;
     std::uint64_t nextSeq_ = 0;
     std::uint64_t fired_ = 0;

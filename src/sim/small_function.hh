@@ -1,0 +1,197 @@
+/**
+ * @file
+ * SmallFunction: a move-only callable wrapper with inline small-buffer
+ * storage.
+ *
+ * std::function heap-allocates any capture larger than its tiny
+ * implementation-defined buffer (two pointers on libstdc++), which made
+ * every EventQueue::schedule call allocate. SmallFunction stores
+ * callables up to a configurable inline capacity directly in the
+ * object, so the simulator's event callbacks — lambdas capturing a
+ * this-pointer plus a request struct — never touch the allocator on
+ * the hot path. Oversized callables transparently fall back to the
+ * heap, so correctness never depends on the capacity.
+ */
+
+#ifndef ODBSIM_SIM_SMALL_FUNCTION_HH
+#define ODBSIM_SIM_SMALL_FUNCTION_HH
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace odbsim
+{
+
+template <typename Signature, std::size_t InlineBytes = 112>
+class SmallFunction;
+
+/**
+ * Move-only type-erased callable with @p InlineBytes of in-object
+ * storage.
+ *
+ * Unlike std::function it cannot be copied (event callbacks never
+ * need to be) which lets move-only captures (unique_ptr, moved-in
+ * request structs) be stored directly.
+ */
+template <typename R, typename... Args, std::size_t InlineBytes>
+class SmallFunction<R(Args...), InlineBytes>
+{
+  public:
+    SmallFunction() = default;
+    SmallFunction(std::nullptr_t) {}
+
+    template <typename F,
+              typename = std::enable_if_t<
+                  !std::is_same_v<std::decay_t<F>, SmallFunction> &&
+                  !std::is_same_v<std::decay_t<F>, std::nullptr_t> &&
+                  std::is_invocable_r_v<R, std::decay_t<F> &, Args...>>>
+    SmallFunction(F &&f)
+    {
+        construct(std::forward<F>(f));
+    }
+
+    SmallFunction(SmallFunction &&other) noexcept
+    {
+        moveFrom(std::move(other));
+    }
+
+    SmallFunction &
+    operator=(SmallFunction &&other) noexcept
+    {
+        if (this != &other) {
+            reset();
+            moveFrom(std::move(other));
+        }
+        return *this;
+    }
+
+    SmallFunction &
+    operator=(std::nullptr_t)
+    {
+        reset();
+        return *this;
+    }
+
+    /**
+     * Assign a callable, constructing it directly in the inline
+     * buffer — the one copy/move of the capture this wrapper ever
+     * performs, which is what lets EventQueue build callbacks in
+     * their slab slot with no intermediate type-erased moves.
+     */
+    template <typename F,
+              typename = std::enable_if_t<
+                  !std::is_same_v<std::decay_t<F>, SmallFunction> &&
+                  !std::is_same_v<std::decay_t<F>, std::nullptr_t> &&
+                  std::is_invocable_r_v<R, std::decay_t<F> &, Args...>>>
+    SmallFunction &
+    operator=(F &&f)
+    {
+        reset();
+        construct(std::forward<F>(f));
+        return *this;
+    }
+
+    SmallFunction(const SmallFunction &) = delete;
+    SmallFunction &operator=(const SmallFunction &) = delete;
+
+    ~SmallFunction() { reset(); }
+
+    /** Destroy the held callable, leaving the wrapper empty. */
+    void
+    reset()
+    {
+        if (!invoke_)
+            return;
+        manage_(nullptr, inline_ ? static_cast<void *>(buf_) : heap_);
+        invoke_ = nullptr;
+        manage_ = nullptr;
+    }
+
+    explicit operator bool() const { return invoke_ != nullptr; }
+
+    R
+    operator()(Args... args)
+    {
+        return invoke_(inline_ ? static_cast<void *>(buf_) : heap_,
+                       std::forward<Args>(args)...);
+    }
+
+    /** True if callables of type @p Fn avoid the heap fallback. */
+    template <typename Fn>
+    static constexpr bool
+    fitsInline()
+    {
+        return sizeof(Fn) <= InlineBytes &&
+               alignof(Fn) <= alignof(std::max_align_t) &&
+               std::is_move_constructible_v<Fn>;
+    }
+
+  private:
+    using Invoke = R (*)(void *, Args &&...);
+    using Manage = void (*)(void *dst, void *src);
+
+    template <typename F>
+    void
+    construct(F &&f)
+    {
+        using Fn = std::decay_t<F>;
+        if constexpr (fitsInline<Fn>()) {
+            ::new (static_cast<void *>(buf_)) Fn(std::forward<F>(f));
+            invoke_ = [](void *obj, Args &&...args) -> R {
+                return (*static_cast<Fn *>(obj))(
+                    std::forward<Args>(args)...);
+            };
+            // Inline storage: dst != nullptr relocates (move-construct
+            // into dst, destroy src); dst == nullptr just destroys.
+            manage_ = [](void *dst, void *src) {
+                Fn *from = static_cast<Fn *>(src);
+                if (dst)
+                    ::new (dst) Fn(std::move(*from));
+                from->~Fn();
+            };
+            inline_ = true;
+        } else {
+            heap_ = new Fn(std::forward<F>(f));
+            invoke_ = [](void *obj, Args &&...args) -> R {
+                return (*static_cast<Fn *>(obj))(
+                    std::forward<Args>(args)...);
+            };
+            // Heap storage: moves steal the pointer, so manage only
+            // ever deletes.
+            manage_ = [](void *, void *src) {
+                delete static_cast<Fn *>(src);
+            };
+            inline_ = false;
+        }
+    }
+
+    void
+    moveFrom(SmallFunction &&other) noexcept
+    {
+        invoke_ = other.invoke_;
+        manage_ = other.manage_;
+        inline_ = other.inline_;
+        if (!invoke_)
+            return;
+        if (inline_)
+            manage_(buf_, other.buf_);
+        else
+            heap_ = other.heap_;
+        other.invoke_ = nullptr;
+        other.manage_ = nullptr;
+    }
+
+    union {
+        alignas(std::max_align_t) unsigned char buf_[InlineBytes];
+        void *heap_;
+    };
+    Invoke invoke_ = nullptr;
+    Manage manage_ = nullptr;
+    bool inline_ = false;
+};
+
+} // namespace odbsim
+
+#endif // ODBSIM_SIM_SMALL_FUNCTION_HH
