@@ -2,10 +2,19 @@
 # Perf + bit-exactness smoke check.
 #
 # Builds a Release tree, runs the hot-path baseline bench (which
-# enforces the >= 1.5x event-queue speedup gate), then regenerates
-# both scaling-study CSVs into a scratch cache and diffs them against
-# the goldens committed at the repo root. Any perf regression past the
-# gate, or any single differing CSV byte, fails the script.
+# enforces the >= 1.5x event-queue and >= 1.3x coherence-directory
+# speedup gates and cross-checks the flat directory against the legacy
+# implementation), then regenerates both scaling-study CSVs into
+# scratch caches — once serially and once with the parallel
+# longest-first scheduler (--jobs 0) — and diffs every regeneration
+# against the goldens committed at the repo root.
+#
+# Any single differing CSV byte fails the script. A perf-gate miss
+# (bench exit code 2) fails the script unless ODBSIM_PERF_GATE=warn,
+# in which case it is reported and the script continues — CI uses warn
+# because shared runners are too noisy for a hard wall-clock gate; the
+# bit-exactness diffs remain fatal everywhere. Any other bench failure
+# (e.g. the directory differential cross-check) is always fatal.
 #
 # Usage: scripts/bench_smoke.sh [build-dir]   (default: build-smoke)
 
@@ -13,32 +22,54 @@ set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 build_dir="${1:-$repo_root/build-smoke}"
+perf_gate="${ODBSIM_PERF_GATE:-strict}"
 
 echo "== configure + build (Release) =="
 cmake -B "$build_dir" -S "$repo_root" -DCMAKE_BUILD_TYPE=Release
 cmake --build "$build_dir" -j "$(nproc)" --target \
     bench_hotpath bench_fig09_cpi bench_fig19_itanium2
 
-echo "== hot-path baseline (1.5x gate) =="
+echo "== hot-path baseline (1.5x queue gate, 1.3x directory gate) =="
 out_json="$build_dir/BENCH_hotpath.json"
-"$build_dir/bench/bench_hotpath" --out "$out_json"
-
-echo "== regenerate study CSVs with a cold cache =="
-cache_dir="$(mktemp -d)"
-trap 'rm -rf "$cache_dir"' EXIT
-ODBSIM_CACHE_DIR="$cache_dir" "$build_dir/bench/bench_fig09_cpi" > /dev/null
-ODBSIM_CACHE_DIR="$cache_dir" "$build_dir/bench/bench_fig19_itanium2" > /dev/null
-
-echo "== diff vs goldens =="
-status=0
-for golden in odbsim_study_xeon-quad-mp.csv odbsim_study_itanium2-quad.csv; do
-    if diff -q "$repo_root/$golden" "$cache_dir/$golden"; then
-        echo "OK  $golden is bit-identical"
+bench_rc=0
+"$build_dir/bench/bench_hotpath" --out "$out_json" || bench_rc=$?
+if [ "$bench_rc" -eq 2 ]; then
+    if [ "$perf_gate" = "warn" ]; then
+        echo "WARN perf gate missed (ODBSIM_PERF_GATE=warn: continuing)" >&2
     else
-        echo "FAIL $golden differs from golden" >&2
-        status=1
+        echo "FAIL perf gate missed (set ODBSIM_PERF_GATE=warn to downgrade)" >&2
+        exit 2
     fi
-done
+elif [ "$bench_rc" -ne 0 ]; then
+    echo "FAIL bench_hotpath exited with $bench_rc" >&2
+    exit "$bench_rc"
+fi
+
+status=0
+check_goldens() {
+    local cache_dir="$1" label="$2"
+    for golden in odbsim_study_xeon-quad-mp.csv odbsim_study_itanium2-quad.csv; do
+        if diff -q "$repo_root/$golden" "$cache_dir/$golden" > /dev/null; then
+            echo "OK  $golden is bit-identical ($label)"
+        else
+            echo "FAIL $golden differs from golden ($label)" >&2
+            status=1
+        fi
+    done
+}
+
+echo "== regenerate study CSVs with a cold cache (serial) =="
+cache_serial="$(mktemp -d)"
+cache_parallel="$(mktemp -d)"
+trap 'rm -rf "$cache_serial" "$cache_parallel"' EXIT
+ODBSIM_CACHE_DIR="$cache_serial" "$build_dir/bench/bench_fig09_cpi" > /dev/null
+ODBSIM_CACHE_DIR="$cache_serial" "$build_dir/bench/bench_fig19_itanium2" > /dev/null
+check_goldens "$cache_serial" "serial"
+
+echo "== regenerate study CSVs with a cold cache (--jobs 0, longest-first) =="
+ODBSIM_CACHE_DIR="$cache_parallel" "$build_dir/bench/bench_fig09_cpi" -j 0 > /dev/null
+ODBSIM_CACHE_DIR="$cache_parallel" "$build_dir/bench/bench_fig19_itanium2" -j 0 > /dev/null
+check_goldens "$cache_parallel" "parallel"
 
 if [ "$status" -eq 0 ]; then
     echo "bench_smoke: PASS ($out_json)"

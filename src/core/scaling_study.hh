@@ -58,6 +58,20 @@ struct StudyConfig
      * completion order rather than grid order.
      */
     std::function<void(const RunResult &)> onPoint;
+    /**
+     * Optional per-point cost estimate (any monotone unit — seconds,
+     * events, …) used to dispatch grid points longest-first on the
+     * parallel path, which minimizes makespan when point costs are
+     * uneven (classic LPT scheduling). Absent, the estimate defaults
+     * to warehouses × processors, which tracks simulated work well.
+     *
+     * Scheduling only: the StudyResult is bit-identical for any hint
+     * (results are collected by grid index). A natural source is a
+     * previous run's `*_profile.csv` sidecar via
+     * loadStudyProfileCsv() — see bench_common's sharedStudy().
+     */
+    std::function<double(unsigned warehouses, unsigned processors)>
+        costHint;
 };
 
 /** @brief All measurements for one processor count. */
@@ -114,10 +128,11 @@ class ScalingStudy
      * @brief Measure every (warehouses, processors) grid point.
      *
      * With cfg.jobs != 1 the independent points are dispatched to a
-     * ThreadPool; results land in their grid slot regardless of
-     * completion order, so the returned StudyResult is bit-identical
-     * to the serial path. A failure (fatal/panic) in any point
-     * terminates the process exactly as in the serial path.
+     * ThreadPool, longest-estimated-first (see StudyConfig::costHint);
+     * results land in their grid slot regardless of completion order,
+     * so the returned StudyResult is bit-identical to the serial path.
+     * A failure (fatal/panic) in any point terminates the process
+     * exactly as in the serial path.
      */
     static StudyResult run(const StudyConfig &cfg);
 };

@@ -9,6 +9,9 @@ namespace odbsim::core
 namespace
 {
 
+constexpr const char *profileCsvHeader =
+    "processors,warehouses,wallSeconds,eventsFired,eventsPerSec";
+
 constexpr const char *csvHeader =
     "processors,warehouses,clients,measureSeconds,txns,tps,ironLawTps,"
     "cpuUtil,osCycleShare,osInstrShare,ipx,ipxUser,ipxOs,cpi,cpiUser,"
@@ -59,8 +62,7 @@ saveStudyCsv(const StudyResult &study, const std::string &path)
 void
 saveStudyProfileCsv(const StudyResult &study, std::ostream &out)
 {
-    out << "processors,warehouses,wallSeconds,eventsFired,eventsPerSec"
-        << "\n";
+    out << profileCsvHeader << "\n";
     out.precision(6);
     for (const auto &series : study.series) {
         for (const auto &r : series.points) {
@@ -79,6 +81,42 @@ saveStudyProfileCsv(const StudyResult &study, const std::string &path)
         return false;
     saveStudyProfileCsv(study, out);
     return static_cast<bool>(out);
+}
+
+bool
+loadStudyProfileCsv(std::istream &in, std::vector<PointProfile> &out)
+{
+    out.clear();
+    std::string line;
+    if (!std::getline(in, line) || line != profileCsvHeader)
+        return false;
+    while (std::getline(in, line)) {
+        if (line.empty())
+            continue;
+        std::istringstream ss(line);
+        PointProfile p;
+        char c;
+        double events, events_per_sec;
+        ss >> p.processors >> c >> p.warehouses >> c >> p.wallSeconds >>
+            c >> events >> c >> events_per_sec;
+        if (ss.fail()) {
+            out.clear();
+            return false;
+        }
+        p.eventsFired = static_cast<std::uint64_t>(events);
+        out.push_back(p);
+    }
+    return !out.empty();
+}
+
+bool
+loadStudyProfileCsv(const std::string &path,
+                    std::vector<PointProfile> &out)
+{
+    std::ifstream in(path);
+    if (!in)
+        return false;
+    return loadStudyProfileCsv(in, out);
 }
 
 bool

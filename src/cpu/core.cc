@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <optional>
 
 #include "sim/logging.hh"
 
@@ -95,6 +96,20 @@ CpuCore::execute(const WorkItem &item, Tick now, double cycle_scale)
     const double tlb_misses = instr * cfg_.tlbMissPerInstr;
     cycles += tlb_misses * cfg_.costs.tlbMissCycles;
 
+    // All of this item's references share one (cpu, mode, now) triple,
+    // so the per-reference loops below run against a single access
+    // epoch: the bus-clock advance and the per-mode counter lookup
+    // happen once per WorkItem instead of once per reference. The
+    // epoch opens lazily at the first reference — a WorkItem that
+    // generates none must not touch the bus clock, exactly as the
+    // per-reference path behaved.
+    std::optional<mem::MemorySystem::AccessEpoch> epoch;
+    const auto accessRef = [&](Addr addr, mem::AccessKind kind) {
+        if (!epoch)
+            epoch.emplace(memsys_.beginEpoch(memId_, mode, now));
+        return epoch->access(addr, kind);
+    };
+
     // Code stream: references reaching L2 after trace-cache misses.
     // The stream descriptor (alignment, line count) is invariant per
     // WorkItem and hoisted out of the reference loop.
@@ -108,8 +123,8 @@ CpuCore::execute(const WorkItem &item, Tick now, double cycle_scale)
         for (std::uint64_t i = 0; i < n_code; ++i) {
             const Addr addr = sampleStream(code, cfg_.codeHotExponent,
                                            codeLinear_, stride);
-            const mem::AccessResult res = memsys_.access(
-                memId_, addr, mem::AccessKind::CodeFetch, mode, now);
+            const mem::AccessResult res =
+                accessRef(addr, mem::AccessKind::CodeFetch);
             cycles += stallCyclesFor(res, true) * k;
         }
     }
@@ -153,11 +168,9 @@ CpuCore::execute(const WorkItem &item, Tick now, double cycle_scale)
                 addr = sampleStream(frame, 1.0, true, stride);
                 write = rng_.chance(cfg_.frameWriteFraction);
             }
-            const mem::AccessResult res = memsys_.access(
-                memId_, addr,
-                write ? mem::AccessKind::DataWrite
-                      : mem::AccessKind::DataRead,
-                mode, now);
+            const mem::AccessResult res =
+                accessRef(addr, write ? mem::AccessKind::DataWrite
+                                      : mem::AccessKind::DataRead);
             cycles += stallCyclesFor(res, false) * k;
         }
     }
@@ -170,11 +183,9 @@ CpuCore::execute(const WorkItem &item, Tick now, double cycle_scale)
         Addr first = (ref.addr + stride - 1) / stride * stride;
         const Addr end = ref.addr + std::max<std::uint32_t>(ref.bytes, 1);
         for (Addr a = first; a < end; a += stride) {
-            const mem::AccessResult res = memsys_.access(
-                memId_, a,
-                ref.write ? mem::AccessKind::DataWrite
-                          : mem::AccessKind::DataRead,
-                mode, now);
+            const mem::AccessResult res =
+                accessRef(a, ref.write ? mem::AccessKind::DataWrite
+                                       : mem::AccessKind::DataRead);
             cycles += stallCyclesFor(res, false) * k;
         }
     }

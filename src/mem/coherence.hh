@@ -6,13 +6,24 @@
  * capacity/conflict misses, and drives invalidation of remote copies on
  * writes — the mechanism behind the paper's observation that coherence
  * traffic contributes little on the 4-way system (Section 5.2).
+ *
+ * The directory sits on the memory-system hot path (every write hit,
+ * L3 fill, eviction and DMA snoop touches it), so its storage is a
+ * flat open-addressing hash table rather than a node-based map: one
+ * contiguous array of packed 16-byte slots, power-of-two capacity with
+ * Fibonacci hashing and linear probing, backward-shift deletion (no
+ * tombstones, so probe chains never rot), and an O(1) clear() via
+ * generation stamping. After warm-up the table performs zero heap
+ * allocations — growth only happens while the tracked-line population
+ * reaches a new high-water mark (observable via tableAllocations()).
  */
 
 #ifndef ODBSIM_MEM_COHERENCE_HH
 #define ODBSIM_MEM_COHERENCE_HH
 
+#include <cstddef>
 #include <cstdint>
-#include <unordered_map>
+#include <limits>
 #include <vector>
 
 #include "sim/types.hh"
@@ -39,7 +50,7 @@ struct SnoopState
 {
     bool tracked = false;
     std::uint32_t sharers = 0;
-    std::int8_t modifiedOwner = -1;
+    std::int16_t modifiedOwner = -1;
 };
 
 /**
@@ -62,6 +73,21 @@ class CoherenceDirectory
      */
     std::uint32_t onWriteHit(unsigned cpu, Addr line_addr);
 
+    /**
+     * Single-CPU fast path covering onFill and onWriteHit at once.
+     *
+     * With one CPU the sharer mask is only ever bit 0, so
+     * onFill/onWriteHit provably cannot observe a remote copy:
+     * `remote = sharers & ~1` is always 0 (no invalidations, no
+     * counter increments) and `modifiedOwner` is only ever -1 or 0, so
+     * `remoteDirty` is always false. The only work left is keeping the
+     * line *tracked* so snoop(), onDmaFill() and trackedLines() stay
+     * bit-identical to the general path. Callers must only use this
+     * on a directory constructed with num_cpus == 1 (asserted in
+     * debug builds).
+     */
+    void touchSolo(Addr line_addr, bool is_write);
+
     /** Look up the residency of a line without changing state. */
     SnoopState snoop(Addr line_addr) const;
 
@@ -71,11 +97,29 @@ class CoherenceDirectory
     /** DMA overwrote the line: all cached copies are stale. */
     void onDmaFill(Addr line_addr);
 
-    /** Drop all state. */
+    /** Drop all state (O(1): bumps the generation stamp). */
     void clear();
 
     /** Lines currently tracked. */
-    std::size_t trackedLines() const { return lines_.size(); }
+    std::size_t trackedLines() const { return size_; }
+
+    /**
+     * Pre-size the table for @p lines tracked lines so the warm-up
+     * phase does not rehash. Never shrinks.
+     */
+    void reserve(std::size_t lines);
+
+    /** @name Allocation observability (perf-test hook) @{ */
+    /** Slots in the flat table (always a power of two). */
+    std::size_t capacity() const { return slots_.size(); }
+    /**
+     * Heap allocations the table has performed so far (construction,
+     * reserve() and load-driven rehashes). Steady-state operation —
+     * any churn whose tracked population stays at or below the
+     * high-water mark — must not advance this.
+     */
+    std::uint64_t tableAllocations() const { return allocations_; }
+    /** @} */
 
     /** @name Raw statistics @{ */
     std::uint64_t coherenceMisses() const { return coherenceMisses_; }
@@ -89,14 +133,48 @@ class CoherenceDirectory
     /** @} */
 
   private:
-    struct Entry
+    /**
+     * One tracked line, packed to 16 bytes. A slot is live iff its
+     * generation stamp equals the directory's current generation;
+     * clear() invalidates every slot by bumping the generation, and
+     * the (rare) 16-bit wrap re-zeroes the array so a stale stamp can
+     * never be mistaken for live again.
+     */
+    struct Slot
     {
+        Addr key = 0;
         std::uint32_t sharers = 0;
-        std::int8_t modifiedOwner = -1;
+        std::int16_t modifiedOwner = -1;
+        std::uint16_t gen = 0;
     };
+    static_assert(sizeof(Slot) == 16, "directory slot must stay packed");
+    static_assert(maxCoherentCpus <=
+                      static_cast<unsigned>(
+                          std::numeric_limits<std::int16_t>::max()),
+                  "modifiedOwner must be able to hold any CPU id");
+    static_assert(maxCoherentCpus <= 32,
+                  "sharers bitmask is 32 bits wide");
+
+    std::size_t indexOf(Addr key) const
+    {
+        return static_cast<std::size_t>(
+            (key * 0x9e3779b97f4a7c15ULL) >> shift_);
+    }
+
+    bool live(const Slot &s) const { return s.gen == gen_; }
+
+    const Slot *find(Addr key) const;
+    Slot &findOrInsert(Addr key);
+    void eraseAt(std::size_t i);
+    void rehash(std::size_t new_capacity);
 
     unsigned numCpus_;
-    std::unordered_map<Addr, Entry> lines_;
+    std::vector<Slot> slots_;
+    std::size_t mask_ = 0;   ///< capacity - 1
+    unsigned shift_ = 0;     ///< 64 - log2(capacity), for the hash
+    std::size_t size_ = 0;   ///< live slots
+    std::uint16_t gen_ = 1;  ///< current live generation (never 0)
+    std::uint64_t allocations_ = 0;
     std::uint64_t coherenceMisses_ = 0;
     std::uint64_t invalidations_ = 0;
 };

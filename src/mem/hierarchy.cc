@@ -1,5 +1,7 @@
 #include "mem/hierarchy.hh"
 
+#include <bit>
+
 #include "sim/logging.hh"
 
 namespace odbsim::mem
@@ -23,7 +25,19 @@ CpuCacheHierarchy::CpuCacheHierarchy(unsigned cpu_id,
                                      std::uint32_t sample_factor)
     : cpuId_(cpu_id), l2_("l2", l2), l3_("l3", l3),
       sampleFactor_(sample_factor)
-{}
+{
+    const std::uint64_t line_bytes = l2.lineBytes;
+    odbsim_assert(line_bytes >= 1 && std::has_single_bit(line_bytes),
+                  "line size must be a power of two");
+    odbsim_assert(sample_factor >= 1 &&
+                      std::has_single_bit(
+                          static_cast<std::uint64_t>(sample_factor)),
+                  "sample factor must be a power of two");
+    lineShift_ = static_cast<unsigned>(std::countr_zero(line_bytes));
+    compressShift_ =
+        lineShift_ + static_cast<unsigned>(std::countr_zero(
+                         static_cast<std::uint64_t>(sample_factor)));
+}
 
 MemCounters
 CpuCacheHierarchy::totalCounters() const
@@ -74,13 +88,20 @@ MemorySystem::MemorySystem(unsigned num_cpus,
                            const HierarchyConfig &hier_cfg,
                            const BusConfig &bus_cfg,
                            std::uint32_t sample_factor)
-    : hierCfg_(hier_cfg), sampleFactor_(sample_factor), bus_(bus_cfg),
-      directory_(num_cpus)
+    : hierCfg_(hier_cfg), sampleFactor_(sample_factor),
+      weight_(sample_factor),
+      lineMask_(~static_cast<Addr>(hier_cfg.l3.lineBytes - 1)),
+      sampledStride_(static_cast<Addr>(hier_cfg.l3.lineBytes) *
+                     sample_factor),
+      singleCpu_(num_cpus == 1), bus_(bus_cfg), directory_(num_cpus)
 {
     odbsim_assert(num_cpus >= 1, "need at least one CPU");
     odbsim_assert(sample_factor >= 1 &&
                       (sample_factor & (sample_factor - 1)) == 0,
                   "sample factor must be a power of two");
+    odbsim_assert(std::has_single_bit(
+                      static_cast<std::uint64_t>(hier_cfg.l3.lineBytes)),
+                  "line size must be a power of two");
     const CacheGeometry l2 =
         scaleGeometry(hier_cfg.l2, sample_factor, "l2");
     const CacheGeometry l3 =
@@ -90,6 +111,10 @@ MemorySystem::MemorySystem(unsigned num_cpus,
             i, l2, l3, sample_factor));
     if (hier_cfg.sharedL3)
         sharedL3_ = std::make_unique<SetAssocCache>("shared-l3", l3);
+    // Pre-size the directory for the lines the caches can keep
+    // resident so warm-up performs no rehash (perf hint only; the
+    // table still grows on demand).
+    directory_.reserve(num_cpus * (l3.numLines() + l2.numLines()));
 }
 
 AccessResult
@@ -97,11 +122,17 @@ MemorySystem::access(unsigned cpu_id, Addr addr, AccessKind kind,
                      ExecMode mode, Tick now)
 {
     bus_.maybeUpdate(now);
-
     CpuCacheHierarchy &h = *cpus_[cpu_id];
-    MemCounters &ctr = h.counters(mode);
-    const std::uint64_t weight = sampleFactor_;
-    const Addr line = addr & ~static_cast<Addr>(hierCfg_.l3.lineBytes - 1);
+    return accessImpl(h, h.counters(mode), addr, kind);
+}
+
+AccessResult
+MemorySystem::accessImpl(CpuCacheHierarchy &h, MemCounters &ctr,
+                         Addr addr, AccessKind kind)
+{
+    const unsigned cpu_id = h.cpuId_;
+    const std::uint64_t weight = weight_;
+    const Addr line = addr & lineMask_;
     const bool is_code = kind == AccessKind::CodeFetch;
     const bool is_write = kind == AccessKind::DataWrite;
 
@@ -115,17 +146,24 @@ MemorySystem::access(unsigned cpu_id, Addr addr, AccessKind kind,
 
     // The scaled tag stores index on the compacted sampled-line space.
     const Addr caddr = h.compress(addr);
-    const Addr line_bytes = hierCfg_.l3.lineBytes;
 
     // Dirty victims from L2 are assumed to hit L3 (tag-store
     // approximation); only L3 victims produce bus writebacks.
     if (h.l2_.access(caddr, is_write).hit) {
         if (is_write) {
-            const std::uint32_t mask =
-                directory_.onWriteHit(cpu_id, line);
-            for (unsigned j = 0; j < numCpus(); ++j) {
-                if (mask & (1u << j))
+            if (singleCpu_) {
+                // P=1 fast path: onWriteHit's remote mask is provably
+                // empty (sharers can only be bit 0), so only the
+                // directory's tracking state needs to advance.
+                directory_.touchSolo(line, true);
+            } else {
+                std::uint32_t mask = directory_.onWriteHit(cpu_id, line);
+                while (mask) {
+                    const unsigned j =
+                        static_cast<unsigned>(std::countr_zero(mask));
+                    mask &= mask - 1;
                     cpus_[j]->invalidateLine(line);
+                }
             }
         }
         res.servicedBy = ServicedBy::L2;
@@ -138,8 +176,7 @@ MemorySystem::access(unsigned cpu_id, Addr addr, AccessKind kind,
     if (l3res.evicted) {
         // Map the victim back to its original (uncompressed) line
         // address for the directory.
-        const Addr victim_line = l3res.evictedLineAddr / line_bytes *
-                                 line_bytes * sampleFactor_;
+        const Addr victim_line = h.decompressLine(l3res.evictedLineAddr);
         if (sharedL3_) {
             // Inclusive shared L3: evicting a line removes every
             // core's L2 copy and its directory state.
@@ -153,6 +190,13 @@ MemorySystem::access(unsigned cpu_id, Addr addr, AccessKind kind,
             bus_.addLineTransfers(static_cast<double>(weight));
     }
     if (l3res.hit) {
+        if (singleCpu_) {
+            // P=1: a fill by the only CPU can neither observe a remote
+            // dirty copy nor need invalidations; track the line only.
+            directory_.touchSolo(line, is_write);
+            res.servicedBy = ServicedBy::L3;
+            return res;
+        }
         // In CMP mode an L3 hit may still be a coherence transfer:
         // another core wrote the line and the modified copy is served
         // on-die (cheap), but it counts as a HITM event. Remote copies
@@ -160,13 +204,15 @@ MemorySystem::access(unsigned cpu_id, Addr addr, AccessKind kind,
         // mode the whole remote stack is invalidated.
         const CoherenceOutcome hit_out =
             directory_.onFill(cpu_id, line, is_write);
-        for (unsigned j = 0; j < numCpus(); ++j) {
-            if (hit_out.invalidateMask & (1u << j)) {
-                if (sharedL3_)
-                    cpus_[j]->l2_.invalidate(caddr);
-                else
-                    cpus_[j]->invalidateLine(line);
-            }
+        std::uint32_t mask = hit_out.invalidateMask;
+        while (mask) {
+            const unsigned j =
+                static_cast<unsigned>(std::countr_zero(mask));
+            mask &= mask - 1;
+            if (sharedL3_)
+                cpus_[j]->l2_.invalidate(caddr);
+            else
+                cpus_[j]->invalidateLine(line);
         }
         if (hit_out.remoteDirty) {
             if (sharedL3_) {
@@ -181,10 +227,22 @@ MemorySystem::access(unsigned cpu_id, Addr addr, AccessKind kind,
     }
     ctr.l3Misses += weight;
 
+    if (singleCpu_) {
+        // P=1: an L3 miss is always serviced by memory — remoteDirty
+        // is impossible, so no cache-to-cache transfer or extra
+        // writeback can occur.
+        directory_.touchSolo(line, is_write);
+        res.servicedBy = ServicedBy::Memory;
+        bus_.addLineTransfers(static_cast<double>(weight));
+        return res;
+    }
+
     const CoherenceOutcome out = directory_.onFill(cpu_id, line, is_write);
-    for (unsigned j = 0; j < numCpus(); ++j) {
-        if (out.invalidateMask & (1u << j))
-            cpus_[j]->invalidateLine(line);
+    std::uint32_t mask = out.invalidateMask;
+    while (mask) {
+        const unsigned j = static_cast<unsigned>(std::countr_zero(mask));
+        mask &= mask - 1;
+        cpus_[j]->invalidateLine(line);
     }
     if (out.remoteDirty) {
         // Cache-to-cache transfer: the dirty copy leaves the remote
@@ -207,8 +265,7 @@ MemorySystem::dmaFill(Addr base, std::uint64_t bytes, Tick now)
     bus_.addDmaBytes(static_cast<double>(bytes));
 
     // Only sampled lines can be cached; snoop just those.
-    const Addr line_bytes = hierCfg_.l3.lineBytes;
-    const Addr stride = line_bytes * sampleFactor_;
+    const Addr stride = sampledStride_;
     Addr first = base & ~static_cast<Addr>(stride - 1);
     if (first < base)
         first += stride;

@@ -90,12 +90,30 @@ class CpuCacheHierarchy
      * Map a sampled line address (line index divisible by S) to the
      * compacted address space the scaled tag stores index on; without
      * this, sampled lines would collide into 1/S of the sets.
+     *
+     * Line size and sample factor are powers of two (asserted at
+     * construction), so the divide/multiply pair reduces to two
+     * shifts computed once in the constructor:
+     * addr / (line_bytes * S) * line_bytes == addr >> (lg L + lg S)
+     * << lg L, exactly, for any addr.
      */
     Addr
     compress(Addr addr) const
     {
-        const Addr line_bytes = l2_.geometry().lineBytes;
-        return addr / (line_bytes * sampleFactor_) * line_bytes;
+        return (addr >> compressShift_) << lineShift_;
+    }
+
+    /**
+     * Map a compacted line address back to the original (uncompressed)
+     * line address — the inverse of compress() for sampled lines.
+     * Same shift identity as compress(), exact for any input:
+     * caddr / line_bytes * line_bytes * S == caddr >> lg L << (lg L +
+     * lg S).
+     */
+    Addr
+    decompressLine(Addr caddr) const
+    {
+        return (caddr >> lineShift_) << compressShift_;
     }
 
     unsigned cpuId() const { return cpuId_; }
@@ -130,6 +148,10 @@ class CpuCacheHierarchy
     SetAssocCache l2_;
     SetAssocCache l3_;
     std::uint32_t sampleFactor_;
+    /** log2(lineBytes); constructor-computed for compress(). */
+    unsigned lineShift_;
+    /** log2(lineBytes * sampleFactor_). */
+    unsigned compressShift_;
     MemCounters counters_[2];
 };
 
@@ -140,6 +162,41 @@ class CpuCacheHierarchy
 class MemorySystem
 {
   public:
+    /**
+     * A batch of accesses sharing one (cpu, mode, now) triple — the
+     * hot-path entry point the CPU core uses.
+     *
+     * beginEpoch() performs the per-batch work once (advancing the bus
+     * model to @p now and resolving the per-mode counter block);
+     * access() then runs the pure per-reference path. This is
+     * bit-exact versus calling MemorySystem::access per reference:
+     * with a constant `now`, every bus_.maybeUpdate(now) after the
+     * first is a no-op, and the counter block resolved up front is the
+     * same one every per-reference lookup would return.
+     *
+     * An epoch is a thin non-owning view: keep it strictly inside the
+     * scope that called beginEpoch() and do not interleave it with
+     * calls that advance simulated time.
+     */
+    class AccessEpoch
+    {
+      public:
+        /** Simulate one sampled post-L1 reference (see
+         *  MemorySystem::access for the address contract). */
+        AccessResult access(Addr addr, AccessKind kind);
+
+      private:
+        friend class MemorySystem;
+        AccessEpoch(MemorySystem &sys, CpuCacheHierarchy &h,
+                    MemCounters &ctr)
+            : sys_(&sys), h_(&h), ctr_(&ctr)
+        {}
+
+        MemorySystem *sys_;
+        CpuCacheHierarchy *h_;
+        MemCounters *ctr_;
+    };
+
     /**
      * @param sample_factor Set-sampling factor S: tag stores are
      *        built at 1/S capacity and callers must feed only lines
@@ -164,9 +221,26 @@ class MemorySystem
     /**
      * Simulate one sampled post-L1 reference. @p addr must lie on a
      * sampled line (line index divisible by the sample factor).
+     *
+     * Equivalent to `beginEpoch(cpu_id, mode, now).access(addr, kind)`
+     * — kept for callers making isolated accesses; loops should hoist
+     * the epoch.
      */
     AccessResult access(unsigned cpu_id, Addr addr, AccessKind kind,
                         ExecMode mode, Tick now);
+
+    /**
+     * Open an access batch for @p cpu_id in @p mode at time @p now:
+     * advances the bus model once and resolves the counter block, so
+     * AccessEpoch::access runs only per-reference work.
+     */
+    AccessEpoch
+    beginEpoch(unsigned cpu_id, ExecMode mode, Tick now)
+    {
+        bus_.maybeUpdate(now);
+        CpuCacheHierarchy &h = *cpus_[cpu_id];
+        return AccessEpoch(*this, h, h.counters(mode));
+    }
 
     /**
      * A DMA engine filled @p bytes at @p base (disk read into memory):
@@ -189,14 +263,31 @@ class MemorySystem
                                        std::uint32_t factor,
                                        const char *name);
 
+    /** The per-reference body shared by access() and AccessEpoch. */
+    AccessResult accessImpl(CpuCacheHierarchy &h, MemCounters &ctr,
+                            Addr addr, AccessKind kind);
+
     HierarchyConfig hierCfg_;
     std::uint32_t sampleFactor_;
+    /** @name Per-access invariants, computed once in the constructor.
+     *  @{ */
+    std::uint64_t weight_;   ///< sampleFactor_ widened for counters.
+    Addr lineMask_;          ///< ~(l3.lineBytes - 1)
+    Addr sampledStride_;     ///< l3.lineBytes * sampleFactor_
+    bool singleCpu_;         ///< P=1: directory fast path applies.
+    /** @} */
     std::vector<std::unique_ptr<CpuCacheHierarchy>> cpus_;
     /** The on-die shared L3 (CMP mode only). */
     std::unique_ptr<SetAssocCache> sharedL3_;
     FrontSideBus bus_;
     CoherenceDirectory directory_;
 };
+
+inline AccessResult
+MemorySystem::AccessEpoch::access(Addr addr, AccessKind kind)
+{
+    return sys_->accessImpl(*h_, *ctr_, addr, kind);
+}
 
 } // namespace odbsim::mem
 

@@ -145,4 +145,65 @@ TEST(StudyIo, MissingFileFailsCleanly)
     EXPECT_FALSE(loadStudyCsv("/nonexistent/odbsim.csv", out));
 }
 
+TEST(StudyIo, ProfileRoundTripPreservesPointCosts)
+{
+    StudyResult study = sampleStudy();
+    double wall = 0.25;
+    std::uint64_t events = 1000;
+    for (auto &s : study.series) {
+        for (auto &p : s.points) {
+            p.wallSeconds = wall += 0.5;
+            p.eventsFired = events *= 3;
+        }
+    }
+    std::stringstream buf;
+    saveStudyProfileCsv(study, buf);
+    std::vector<PointProfile> out;
+    ASSERT_TRUE(loadStudyProfileCsv(buf, out));
+    ASSERT_EQ(out.size(), 6u);
+    std::size_t i = 0;
+    for (const auto &s : study.series) {
+        for (const auto &p : s.points) {
+            SCOPED_TRACE("row " + std::to_string(i));
+            EXPECT_EQ(out[i].processors, p.processors);
+            EXPECT_EQ(out[i].warehouses, p.warehouses);
+            EXPECT_NEAR(out[i].wallSeconds, p.wallSeconds, 1e-6);
+            EXPECT_EQ(out[i].eventsFired, p.eventsFired);
+            ++i;
+        }
+    }
+}
+
+TEST(StudyIo, ProfileRejectsStudyCsvHeader)
+{
+    // A profile sidecar path accidentally pointed at a study CSV (or
+    // vice versa) must fail cleanly, not misparse.
+    const StudyResult study = sampleStudy();
+    std::stringstream buf;
+    saveStudyCsv(study, buf);
+    std::vector<PointProfile> out;
+    EXPECT_FALSE(loadStudyProfileCsv(buf, out));
+    EXPECT_TRUE(out.empty());
+}
+
+TEST(StudyIo, ProfileRejectsMalformedRow)
+{
+    const StudyResult study = sampleStudy();
+    std::stringstream buf;
+    saveStudyProfileCsv(study, buf);
+    std::string text = buf.str();
+    text += "4,garbage\n";
+    std::stringstream corrupted(text);
+    std::vector<PointProfile> out;
+    EXPECT_FALSE(loadStudyProfileCsv(corrupted, out));
+    EXPECT_TRUE(out.empty());
+}
+
+TEST(StudyIo, ProfileMissingFileFailsCleanly)
+{
+    std::vector<PointProfile> out;
+    EXPECT_FALSE(loadStudyProfileCsv("/nonexistent/odbsim_profile.csv",
+                                     out));
+}
+
 } // namespace

@@ -136,6 +136,34 @@ TEST(StudyParallel, SerialAndParallelResultsAreBitIdentical)
     }
 }
 
+TEST(StudyParallel, CostHintReordersDispatchButNotResults)
+{
+    // Longest-first dispatch is scheduling only: any cost hint — here
+    // one deliberately adversarial (reverse of the W×P default, so the
+    // cheapest points dispatch first) — must yield a StudyResult
+    // bit-identical to the serial path.
+    const StudyResult serial = ScalingStudy::run(smallGrid(1));
+
+    StudyConfig hinted_cfg = smallGrid(4);
+    hinted_cfg.costHint = [](unsigned w, unsigned p) {
+        return 1.0 / (static_cast<double>(w) * p);
+    };
+    const StudyResult hinted = ScalingStudy::run(hinted_cfg);
+
+    ASSERT_EQ(serial.series.size(), hinted.series.size());
+    for (std::size_t si = 0; si < serial.series.size(); ++si) {
+        const auto &s = serial.series[si];
+        const auto &h = hinted.series[si];
+        EXPECT_EQ(s.processors, h.processors);
+        ASSERT_EQ(s.points.size(), h.points.size());
+        for (std::size_t i = 0; i < s.points.size(); ++i) {
+            SCOPED_TRACE("series " + std::to_string(s.processors) +
+                         "P point " + std::to_string(i));
+            expectBitIdentical(s.points[i], h.points[i]);
+        }
+    }
+}
+
 TEST(StudyParallel, JobsZeroSelectsHardwareConcurrency)
 {
     // jobs=0 (auto) must run and produce the same grid shape; the

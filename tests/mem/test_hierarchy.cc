@@ -199,6 +199,110 @@ TEST(MemorySystem, CapacityEvictionsUpdateDirectory)
     EXPECT_EQ(ms.directory().snoop(sline(0)).modifiedOwner, 1);
 }
 
+void
+expectSameCounters(const MemCounters &a, const MemCounters &b)
+{
+    EXPECT_EQ(a.codeFetches, b.codeFetches);
+    EXPECT_EQ(a.dataReads, b.dataReads);
+    EXPECT_EQ(a.dataWrites, b.dataWrites);
+    EXPECT_EQ(a.l2Misses, b.l2Misses);
+    EXPECT_EQ(a.l3Misses, b.l3Misses);
+    EXPECT_EQ(a.coherenceMisses, b.coherenceMisses);
+}
+
+TEST(MemorySystem, EpochAccessesMatchPerCallAccesses)
+{
+    // The batched entry point must be bit-exact versus one access()
+    // call per reference: same per-access results, same counters, same
+    // bus accounting — including when the advancing clock makes the
+    // hoisted maybeUpdate recompute the bus window.
+    BusConfig b;
+    b.windowTicks = 10 * tickPerUs;
+    MemorySystem plain(2, smallHier(), b, S);
+    MemorySystem epoched(2, smallHier(), b, S);
+    std::uint64_t x = 88172645463325252ull; // xorshift64
+    for (int e = 0; e < 200; ++e) {
+        const Tick now = static_cast<Tick>(e) * 3 * tickPerUs;
+        const unsigned cpu = e & 1;
+        const ExecMode mode = (e & 2) ? ExecMode::Os : ExecMode::User;
+        auto epoch = epoched.beginEpoch(cpu, mode, now);
+        for (int i = 0; i < 32; ++i) {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            const Addr addr = sline(x % 512);
+            const AccessKind kind = (i % 5 == 0) ? AccessKind::DataWrite
+                                   : (i % 5 == 1)
+                                       ? AccessKind::CodeFetch
+                                       : AccessKind::DataRead;
+            const auto ra = plain.access(cpu, addr, kind, mode, now);
+            const auto rb = epoch.access(addr, kind);
+            ASSERT_EQ(ra.servicedBy, rb.servicedBy)
+                << "epoch " << e << " ref " << i;
+        }
+    }
+    for (unsigned c = 0; c < 2; ++c) {
+        expectSameCounters(plain.cpu(c).counters(ExecMode::User),
+                           epoched.cpu(c).counters(ExecMode::User));
+        expectSameCounters(plain.cpu(c).counters(ExecMode::Os),
+                           epoched.cpu(c).counters(ExecMode::Os));
+    }
+    plain.bus().maybeUpdate(1000 * tickPerUs);
+    epoched.bus().maybeUpdate(1000 * tickPerUs);
+    EXPECT_EQ(plain.bus().utilization(), epoched.bus().utilization());
+    EXPECT_EQ(plain.directory().trackedLines(),
+              epoched.directory().trackedLines());
+}
+
+TEST(MemorySystem, SingleCpuFastPathMatchesIdleSecondCpu)
+{
+    // A 1-CPU system takes the directory fast path; a 2-CPU system
+    // whose second CPU never issues a reference takes the general
+    // path. CPU 0 must observe bit-identical behaviour in both.
+    MemorySystem solo(1, smallHier(), quietBus(), S);
+    MemorySystem duo(2, smallHier(), quietBus(), S);
+    std::uint64_t x = 424242;
+    for (int i = 0; i < 20'000; ++i) {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        const Addr addr = sline(x % 256);
+        const AccessKind kind =
+            (i % 4 == 0) ? AccessKind::DataWrite : AccessKind::DataRead;
+        const auto ra = solo.access(0, addr, kind, ExecMode::User, 0);
+        const auto rb = duo.access(0, addr, kind, ExecMode::User, 0);
+        ASSERT_EQ(ra.servicedBy, rb.servicedBy) << "ref " << i;
+    }
+    expectSameCounters(solo.cpu(0).counters(ExecMode::User),
+                       duo.cpu(0).counters(ExecMode::User));
+    // The fast path skips remote bookkeeping but must keep tracking
+    // lines so DMA snoops and trackedLines() stay identical.
+    ASSERT_EQ(solo.directory().trackedLines(),
+              duo.directory().trackedLines());
+    for (std::uint64_t n = 0; n < 256; ++n) {
+        const SnoopState a = solo.directory().snoop(sline(n));
+        const SnoopState b = duo.directory().snoop(sline(n));
+        ASSERT_EQ(a.tracked, b.tracked) << "line " << n;
+        ASSERT_EQ(a.sharers, b.sharers) << "line " << n;
+        ASSERT_EQ(a.modifiedOwner, b.modifiedOwner) << "line " << n;
+    }
+    EXPECT_EQ(solo.cpu(0).counters(ExecMode::User).coherenceMisses, 0u);
+}
+
+TEST(MemorySystem, SingleCpuDmaInvalidationStillWorks)
+{
+    // Lines tracked via the fast path must still be found (and
+    // dropped) by DMA snoops.
+    MemorySystem ms(1, smallHier(), quietBus(), S);
+    ms.access(0, sline(3), AccessKind::DataWrite, ExecMode::User, 0);
+    ASSERT_TRUE(ms.directory().snoop(sline(3)).tracked);
+    ms.dmaFill(sline(3), 64, 0);
+    EXPECT_FALSE(ms.directory().snoop(sline(3)).tracked);
+    EXPECT_TRUE(ms.access(0, sline(3), AccessKind::DataRead,
+                          ExecMode::User, 0)
+                    .l3Miss());
+}
+
 /** Parameterized: every power-of-two sample factor behaves sanely. */
 class SampleFactorProperty : public ::testing::TestWithParam<std::uint32_t>
 {
