@@ -2,18 +2,21 @@
  * @file
  * Hot-path perf baseline: measures the simulation kernel's hottest
  * operations — event scheduling, tag-store accesses, coherence
- * directory churn, the batched memory-access path, and one reference
- * study grid point — and emits BENCH_hotpath.json, the baseline
- * future perf PRs are judged against.
+ * directory churn, the batched memory-access path, the database
+ * replay structures (buffer cache, lock manager), end-to-end
+ * plan-and-replay throughput, and one reference study grid point —
+ * and emits BENCH_hotpath.json, the baseline future perf PRs are
+ * judged against.
  *
- * Two microbenchmarks also run against embedded copies of the
+ * Four microbenchmarks also run against embedded copies of the
  * pre-overhaul implementations (the shared_ptr/std::function event
- * queue and the std::unordered_map coherence directory), so the
+ * queue, and the std::unordered_map coherence directory, buffer-cache
+ * index and lock table with its per-resource std::deque), so the
  * reported speedups are reproducible from this binary alone, on any
- * host, without checking out the old revisions. The directory churn
- * is driven by one deterministic operation stream through both
+ * host, without checking out the old revisions. Each churn bench is
+ * driven by one deterministic operation stream through both
  * implementations and cross-checks their observable counters, so the
- * perf comparison doubles as a differential test.
+ * perf comparisons double as differential tests.
  *
  * Usage: bench_hotpath [--out FILE]   (default: BENCH_hotpath.json)
  */
@@ -22,6 +25,7 @@
 #include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <deque>
 #include <functional>
 #include <memory>
 #include <queue>
@@ -29,9 +33,15 @@
 #include <unordered_map>
 
 #include "core/experiment.hh"
+#include "db/buffer_cache.hh"
+#include "db/database.hh"
+#include "db/lock_manager.hh"
 #include "mem/cache.hh"
 #include "mem/hierarchy.hh"
+#include "odb/workload.hh"
+#include "os/system.hh"
 #include "sim/event_queue.hh"
+#include "sim/logging.hh"
 #include "sim/rng.hh"
 
 #ifndef ODBSIM_GIT_REV
@@ -222,6 +232,234 @@ class LegacyCoherenceDirectory
     std::uint64_t invalidations_ = 0;
 };
 
+/**
+ * The buffer cache as it was before the flat-table overhaul: the same
+ * frame pool and intrusive LRU, but the resident-block index is a
+ * std::unordered_map (a node allocation per resident block, a pointer
+ * chase per probe) and metaAddr() folds the hashed block id onto the
+ * frame count with a 64-bit hardware divide. Kept verbatim as the
+ * perf reference for the buffer-cache speedup gate.
+ */
+class LegacyBufferCache
+{
+  public:
+    explicit LegacyBufferCache(std::uint64_t frames)
+    {
+        frames_.resize(frames + 1);
+        sentinel_ = static_cast<std::uint32_t>(frames);
+        frames_[sentinel_].prev = sentinel_;
+        frames_[sentinel_].next = sentinel_;
+        map_.reserve(frames);
+    }
+
+    std::uint64_t numFrames() const { return frames_.size() - 1; }
+    std::uint64_t residentBlocks() const { return map_.size(); }
+
+    db::BufferLookup
+    lookup(db::BlockId b)
+    {
+        ++gets_;
+        auto it = map_.find(b);
+        if (it == map_.end()) {
+            ++misses_;
+            return db::BufferLookup{false, 0};
+        }
+        const std::uint32_t f = it->second;
+        unlink(f);
+        pushFront(f);
+        return db::BufferLookup{true, f};
+    }
+
+    db::BufferVictim
+    allocate(db::BlockId b)
+    {
+        db::BufferVictim out;
+        std::uint32_t f;
+        if (nextFree_ < sentinel_) {
+            f = static_cast<std::uint32_t>(nextFree_++);
+        } else {
+            f = frames_[sentinel_].prev;
+            while (f != sentinel_ && frames_[f].ioPending)
+                f = frames_[f].prev;
+            Frame &victim = frames_[f];
+            out.hadBlock = true;
+            out.evictedBlock = victim.block;
+            out.wasDirty = victim.dirty;
+            if (victim.dirty)
+                ++dirtyEvictions_;
+            map_.erase(victim.block);
+            unlink(f);
+        }
+        Frame &fr = frames_[f];
+        fr.block = b;
+        fr.dirty = false;
+        fr.ioPending = true;
+        map_[b] = f;
+        pushFront(f);
+        out.frame = f;
+        return out;
+    }
+
+    void fillComplete(std::uint64_t frame)
+    {
+        frames_[frame].ioPending = false;
+    }
+    void markDirty(std::uint64_t frame) { frames_[frame].dirty = true; }
+    bool isDirty(std::uint64_t frame) const
+    {
+        return frames_[frame].dirty;
+    }
+
+    void
+    prefill(db::BlockId b, bool dirty = false)
+    {
+        if (map_.find(b) != map_.end())
+            return;
+        if (nextFree_ >= sentinel_)
+            return;
+        const std::uint32_t f = static_cast<std::uint32_t>(nextFree_++);
+        Frame &fr = frames_[f];
+        fr.block = b;
+        fr.dirty = dirty;
+        fr.ioPending = false;
+        map_[b] = f;
+        pushFront(f);
+    }
+
+    void
+    markClean(db::BlockId b)
+    {
+        auto it = map_.find(b);
+        if (it != map_.end())
+            frames_[it->second].dirty = false;
+    }
+
+    Addr
+    metaAddr(db::BlockId b) const
+    {
+        const std::uint64_t bucket =
+            (b * 0x9e3779b97f4a7c15ULL) % numFrames();
+        return mem::addrmap::frameMetaAddr(bucket);
+    }
+
+    std::uint64_t gets() const { return gets_; }
+    std::uint64_t misses() const { return misses_; }
+    std::uint64_t dirtyEvictions() const { return dirtyEvictions_; }
+
+  private:
+    struct Frame
+    {
+        db::BlockId block = db::invalidBlock;
+        bool dirty = false;
+        bool ioPending = false;
+        std::uint32_t prev = 0;
+        std::uint32_t next = 0;
+    };
+
+    void
+    unlink(std::uint32_t f)
+    {
+        Frame &fr = frames_[f];
+        frames_[fr.prev].next = fr.next;
+        frames_[fr.next].prev = fr.prev;
+    }
+
+    void
+    pushFront(std::uint32_t f)
+    {
+        Frame &fr = frames_[f];
+        fr.next = frames_[sentinel_].next;
+        fr.prev = sentinel_;
+        frames_[fr.next].prev = f;
+        frames_[sentinel_].next = f;
+    }
+
+    std::vector<Frame> frames_;
+    std::unordered_map<db::BlockId, std::uint32_t> map_;
+    std::uint32_t sentinel_;
+    std::uint64_t nextFree_ = 0;
+    std::uint64_t gets_ = 0;
+    std::uint64_t misses_ = 0;
+    std::uint64_t dirtyEvictions_ = 0;
+};
+
+/**
+ * The lock manager as it was before the flat-table overhaul: a
+ * std::unordered_map from lock key to a resource whose FIFO wait
+ * queue is a per-resource std::deque — a node allocation per locked
+ * row and a deque-segment allocation per first waiter. Kept verbatim
+ * as the perf reference for the lock-manager speedup gate.
+ */
+class LegacyLockManager
+{
+  public:
+    bool
+    acquire(os::Process *p, db::LockKey key)
+    {
+        ++acquires_;
+        Resource &res = table_[key];
+        if (res.holder == nullptr) {
+            res.holder = p;
+            return true;
+        }
+        if (res.holder == p)
+            return true;
+        ++conflicts_;
+        res.waiters.push_back(p);
+        return false;
+    }
+
+    void
+    release(os::Process *p, db::LockKey key, os::System &sys)
+    {
+        auto it = table_.find(key);
+        odbsim_assert(it != table_.end(), "releasing unknown lock ", key);
+        Resource &res = it->second;
+        odbsim_assert(res.holder == p, "releasing foreign lock ", key);
+        if (res.waiters.empty()) {
+            table_.erase(it);
+            return;
+        }
+        res.holder = res.waiters.front();
+        res.waiters.pop_front();
+        sys.wakeProcess(res.holder, 2500);
+    }
+
+    std::size_t heldCount() const { return table_.size(); }
+    std::uint64_t acquires() const { return acquires_; }
+    std::uint64_t conflicts() const { return conflicts_; }
+
+  private:
+    struct Resource
+    {
+        os::Process *holder = nullptr;
+        std::deque<os::Process *> waiters;
+    };
+
+    std::unordered_map<db::LockKey, Resource> table_;
+    std::uint64_t acquires_ = 0;
+    std::uint64_t conflicts_ = 0;
+};
+
+/**
+ * A process that exists only as a lock-owner identity for the lock
+ * churn bench; it is never spawned, so next() is never called, and
+ * Scheduler::wake on it just latches wakePending_.
+ */
+class ParkedProcess : public os::Process
+{
+  public:
+    using os::Process::Process;
+
+    os::NextAction
+    next(os::System &) override
+    {
+        os::NextAction a;
+        a.after = os::NextAction::After::Block;
+        return a;
+    }
+};
+
 /** Capture shape of a typical kernel event (disk completion). */
 struct FakeRequest
 {
@@ -387,6 +625,168 @@ accessPathRate(std::uint64_t accesses)
     return static_cast<double>(accesses) / secs;
 }
 
+/**
+ * Buffer-cache churn at the studied configuration's frame count
+ * (358,400 frames, the 2.8 GB SGA): the cache is prefilled to full
+ * with a steady-state dirty population, then a deterministic stream
+ * of the replay hot path's operations — lookup with allocate +
+ * fillComplete on miss, first-modification markDirty, DBWR markClean,
+ * and the metaAddr descriptor fold — runs over a footprint twice the
+ * frame count, so probes, evictions (erase + insert) and the divide
+ * are all exercised together. The digest accumulates every observable
+ * output so the caller can cross-check the two implementations ran
+ * identically. Returns ops per second.
+ */
+template <typename Cache>
+double
+bufferChurnRate(std::uint64_t ops, std::uint64_t &digest)
+{
+    constexpr std::uint64_t frames = 358'400;
+    Cache bc(frames);
+    for (std::uint64_t b = 0; b < frames; ++b)
+        bc.prefill(b, (b & 3) == 0);
+    Rng rng(31);
+    constexpr std::uint64_t footprint = 2 * frames;
+    std::uint64_t sum = 0;
+    const auto t0 = std::chrono::steady_clock::now();
+    for (std::uint64_t i = 0; i < ops; ++i) {
+        const db::BlockId b = rng.below(footprint);
+        switch (rng.below(8)) {
+          default: {
+            // The replayTouch path: probe, allocate on miss, and the
+            // per-touch descriptor reference.
+            sum += bc.metaAddr(b);
+            const db::BufferLookup hit = bc.lookup(b);
+            if (hit.hit) {
+                sum += hit.frame;
+            } else {
+                const db::BufferVictim v = bc.allocate(b);
+                sum += v.frame + v.evictedBlock * 3 + v.wasDirty;
+                bc.fillComplete(v.frame);
+            }
+            break;
+          }
+          case 5: {
+            // First modification since the last write-back.
+            const db::BufferLookup hit = bc.lookup(b);
+            if (hit.hit && !bc.isDirty(hit.frame)) {
+                bc.markDirty(hit.frame);
+                ++sum;
+            }
+            break;
+          }
+          case 6:
+            bc.markClean(b); // DBWR finished a write-back.
+            break;
+          case 7:
+            sum += bc.metaAddr(b);
+            break;
+        }
+    }
+    const double secs = secondsSince(t0);
+    digest = sum + bc.gets() + bc.misses() * 3 +
+             bc.dirtyEvictions() * 7 + bc.residentBlocks();
+    return static_cast<double>(ops) / secs;
+}
+
+/**
+ * Lock-table churn with the contention shape replay produces: each
+ * round, process A acquires a run of eight keys, B contends on the
+ * first four and C on the first two (FIFO depth two), then the
+ * releases cascade the hand-off + wake path before the resources
+ * retire. One round is 28 lock operations covering every manager
+ * path: grant, conflict enqueue, FIFO hand-off, waiter retire and
+ * resource erase. The digest accumulates grant results, mid-round
+ * heldCount samples and the final counters for the cross-check.
+ * Returns lock operations per second.
+ */
+template <typename Locks>
+double
+lockChurnRate(std::uint64_t rounds, os::System &sys, os::Process *a,
+              os::Process *b, os::Process *c, std::uint64_t &digest)
+{
+    Locks lm;
+    Rng rng(47);
+    std::uint64_t sum = 0;
+    const auto t0 = std::chrono::steady_clock::now();
+    for (std::uint64_t r = 0; r < rounds; ++r) {
+        const db::LockKey base = rng.below(1u << 20) * 8;
+        for (unsigned j = 0; j < 8; ++j)
+            sum += lm.acquire(a, base + j);
+        for (unsigned j = 0; j < 4; ++j)
+            sum += lm.acquire(b, base + j);
+        for (unsigned j = 0; j < 2; ++j)
+            sum += lm.acquire(c, base + j);
+        sum += lm.heldCount() * 5;
+        for (unsigned j = 0; j < 8; ++j)
+            lm.release(a, base + j, sys);
+        for (unsigned j = 0; j < 4; ++j)
+            lm.release(b, base + j, sys);
+        for (unsigned j = 0; j < 2; ++j)
+            lm.release(c, base + j, sys);
+        sum += lm.heldCount();
+    }
+    const double secs = secondsSince(t0);
+    digest = sum + lm.acquires() * 3 + lm.conflicts() * 7 +
+             lm.heldCount();
+    return static_cast<double>(rounds * 28) / secs;
+}
+
+/**
+ * End-to-end plan-and-replay throughput: a miniature ODB deployment
+ * (2 CPUs, 2 warehouses with reduced cardinalities, 8 clients) runs a
+ * warm-up then a measured window under the discrete-event clock, and
+ * the figure is committed transactions per *host* second — the speed
+ * at which the simulator plans traces and replays them through the
+ * buffer cache, lock manager and log. No legacy comparison (the rig
+ * spans the whole engine); the figure exists so perf PRs see whole-
+ * path regressions that the microbenches miss.
+ */
+double
+planReplayRate(double &sim_tps)
+{
+    os::SystemConfig scfg;
+    scfg.numCpus = 2;
+    scfg.core.samplePeriod = 16;
+    scfg.disks.dataDisks = 4;
+    scfg.disks.logDisks = 1;
+    scfg.seed = 99;
+    os::System sys(scfg);
+
+    db::DatabaseConfig dcfg;
+    dcfg.schema.warehouses = 2;
+    dcfg.schema.customersPerDistrict = 300;
+    dcfg.schema.itemCount = 2000;
+    dcfg.schema.stockPerWarehouse = 2000;
+    dcfg.schema.initialOrdersPerDistrict = 100;
+    dcfg.schema.ordersPerDistrictCap = 400;
+    dcfg.schema.olPerDistrictCap = 4500;
+    dcfg.schema.newOrderCap = 200;
+    dcfg.schema.historyCap = 1800;
+    dcfg.schema.undoBlocks = 256;
+    dcfg.sgaFrames = 4096;
+    db::Database db(sys, dcfg);
+
+    odb::WorkloadConfig wcfg;
+    wcfg.clients = 8;
+    wcfg.seed = 7;
+    odb::OdbWorkload workload(db, wcfg);
+
+    db.start();
+    workload.start();
+    db.instantWarm();
+    sys.runFor(50 * tickPerMs);
+    workload.resetStats();
+    db.resetStats();
+
+    constexpr Tick window = 400 * tickPerMs;
+    const auto t0 = std::chrono::steady_clock::now();
+    sys.runFor(window);
+    const double secs = secondsSince(t0);
+    sim_tps = workload.tps(window);
+    return static_cast<double>(workload.committed()) / secs;
+}
+
 /** Best of @p reps runs, to shed scheduler noise. */
 double
 best(int reps, double (*fn)(std::uint64_t), std::uint64_t n)
@@ -405,6 +805,17 @@ bestDirectory(int reps, std::uint64_t ops, std::uint64_t &digest)
     double b = 0.0;
     for (int i = 0; i < reps; ++i)
         b = std::max(b, directoryChurnRate<Dir>(ops, digest));
+    return b;
+}
+
+/** best() over an arbitrary rate callable (the db benches). */
+template <typename Fn>
+double
+bestOf(int reps, Fn fn)
+{
+    double b = 0.0;
+    for (int i = 0; i < reps; ++i)
+        b = std::max(b, fn());
     return b;
 }
 
@@ -471,6 +882,79 @@ main(int argc, char **argv)
     std::fprintf(stderr, "[hotpath]   MemorySystem     %.2fM acc/s\n",
                  path_rate / 1e6);
 
+    std::fprintf(stderr, "[hotpath] buffer-cache churn...\n");
+    constexpr std::uint64_t kBufOps = 10'000'000;
+    std::uint64_t buf_digest = 0, legacy_buf_digest = 0;
+    const double buf_rate = bestOf(5, [&] {
+        return bufferChurnRate<db::BufferCache>(kBufOps, buf_digest);
+    });
+    const double legacy_buf_rate = bestOf(5, [&] {
+        return bufferChurnRate<LegacyBufferCache>(kBufOps,
+                                                  legacy_buf_digest);
+    });
+    const double buf_speedup = buf_rate / legacy_buf_rate;
+    std::fprintf(stderr,
+                 "[hotpath]   BufferCache       %.2fM ops/s\n"
+                 "[hotpath]   LegacyBufferCache %.2fM ops/s\n"
+                 "[hotpath]   speedup_vs_legacy %.2fx\n",
+                 buf_rate / 1e6, legacy_buf_rate / 1e6, buf_speedup);
+    if (buf_digest != legacy_buf_digest) {
+        std::fprintf(stderr,
+                     "[hotpath] FATAL: buffer-cache digests diverge "
+                     "(flat %llu vs legacy %llu) — the flat index is "
+                     "not behaviorally identical\n",
+                     static_cast<unsigned long long>(buf_digest),
+                     static_cast<unsigned long long>(legacy_buf_digest));
+        return 1;
+    }
+
+    std::fprintf(stderr, "[hotpath] lock-manager churn...\n");
+    constexpr std::uint64_t kLockRounds = 500'000;
+    std::uint64_t lock_digest = 0, legacy_lock_digest = 0;
+    double lock_rate = 0.0, legacy_lock_rate = 0.0;
+    {
+        // One small machine shared by both runs: the lock manager
+        // only needs it for Scheduler::wake on hand-off, and the
+        // parked owner identities are never spawned or run.
+        os::SystemConfig scfg;
+        scfg.numCpus = 1;
+        os::System sys(scfg);
+        ParkedProcess a("lock-bench-a"), b("lock-bench-b"),
+            c("lock-bench-c");
+        lock_rate = bestOf(5, [&] {
+            return lockChurnRate<db::LockManager>(kLockRounds, sys, &a,
+                                                  &b, &c, lock_digest);
+        });
+        legacy_lock_rate = bestOf(5, [&] {
+            return lockChurnRate<LegacyLockManager>(
+                kLockRounds, sys, &a, &b, &c, legacy_lock_digest);
+        });
+    }
+    const double lock_speedup = lock_rate / legacy_lock_rate;
+    std::fprintf(stderr,
+                 "[hotpath]   LockManager       %.2fM ops/s\n"
+                 "[hotpath]   LegacyLockManager %.2fM ops/s\n"
+                 "[hotpath]   speedup_vs_legacy %.2fx\n",
+                 lock_rate / 1e6, legacy_lock_rate / 1e6, lock_speedup);
+    if (lock_digest != legacy_lock_digest) {
+        std::fprintf(stderr,
+                     "[hotpath] FATAL: lock-manager digests diverge "
+                     "(flat %llu vs legacy %llu) — the flat table is "
+                     "not behaviorally identical\n",
+                     static_cast<unsigned long long>(lock_digest),
+                     static_cast<unsigned long long>(legacy_lock_digest));
+        return 1;
+    }
+
+    std::fprintf(stderr, "[hotpath] plan-and-replay throughput...\n");
+    double sim_tps = 0.0;
+    const double replay_rate =
+        bestOf(3, [&] { return planReplayRate(sim_tps); });
+    std::fprintf(stderr,
+                 "[hotpath]   plan+replay       %.0f txn/s host "
+                 "(sim tps %.0f)\n",
+                 replay_rate, sim_tps);
+
     std::fprintf(stderr,
                  "[hotpath] reference grid point (W=10, P=4)...\n");
     core::OltpConfiguration cfg;
@@ -510,6 +994,22 @@ main(int argc, char **argv)
         "  \"access_path\": {\n"
         "    \"accesses_per_sec\": %.0f\n"
         "  },\n"
+        "  \"buffer_cache\": {\n"
+        "    \"ops_per_sec\": %.0f,\n"
+        "    \"legacy_ops_per_sec\": %.0f,\n"
+        "    \"speedup_vs_legacy\": %.3f,\n"
+        "    \"digest_cross_check\": \"passed\"\n"
+        "  },\n"
+        "  \"lock_manager\": {\n"
+        "    \"ops_per_sec\": %.0f,\n"
+        "    \"legacy_ops_per_sec\": %.0f,\n"
+        "    \"speedup_vs_legacy\": %.3f,\n"
+        "    \"digest_cross_check\": \"passed\"\n"
+        "  },\n"
+        "  \"plan_replay\": {\n"
+        "    \"txns_per_host_sec\": %.0f,\n"
+        "    \"sim_tps\": %.1f\n"
+        "  },\n"
         "  \"grid_point\": {\n"
         "    \"warehouses\": %u,\n"
         "    \"processors\": %u,\n"
@@ -524,7 +1024,9 @@ main(int argc, char **argv)
         "  }\n"
         "}\n",
         ev_rate, legacy_rate, speedup, cache_rate, dir_rate,
-        legacy_dir_rate, dir_speedup, path_rate, r.warehouses,
+        legacy_dir_rate, dir_speedup, path_rate, buf_rate,
+        legacy_buf_rate, buf_speedup, lock_rate, legacy_lock_rate,
+        lock_speedup, replay_rate, sim_tps, r.warehouses,
         r.processors, r.wallSeconds,
         static_cast<unsigned long long>(r.eventsFired),
         r.eventsPerSec(), __VERSION__, ODBSIM_BUILD_TYPE,
@@ -545,6 +1047,20 @@ main(int argc, char **argv)
                      "[hotpath] WARNING: directory speedup %.2fx is "
                      "below the 1.3x gate\n",
                      dir_speedup);
+        rc = 2;
+    }
+    if (buf_speedup < 1.3) {
+        std::fprintf(stderr,
+                     "[hotpath] WARNING: buffer-cache speedup %.2fx is "
+                     "below the 1.3x gate\n",
+                     buf_speedup);
+        rc = 2;
+    }
+    if (lock_speedup < 1.3) {
+        std::fprintf(stderr,
+                     "[hotpath] WARNING: lock-manager speedup %.2fx is "
+                     "below the 1.3x gate\n",
+                     lock_speedup);
         rc = 2;
     }
     return rc;

@@ -6,12 +6,15 @@ namespace odbsim::db
 {
 
 BufferCache::BufferCache(std::uint64_t frames)
+    : frameMod_(frames)
 {
     odbsim_assert(frames >= 8, "buffer cache needs at least 8 frames");
     frames_.resize(frames + 1);
     sentinel_ = static_cast<std::uint32_t>(frames);
     frames_[sentinel_].prev = sentinel_;
     frames_[sentinel_].next = sentinel_;
+    // Residency can never exceed the frame count, so after this the
+    // index never rehashes (mapAllocations() stays flat).
     map_.reserve(frames);
 }
 
@@ -37,12 +40,12 @@ BufferLookup
 BufferCache::lookup(BlockId b)
 {
     ++gets_;
-    auto it = map_.find(b);
-    if (it == map_.end()) {
+    const std::uint32_t *slot = map_.find(b);
+    if (!slot) {
         ++misses_;
         return BufferLookup{false, 0};
     }
-    const std::uint32_t f = it->second;
+    const std::uint32_t f = *slot;
     unlink(f);
     pushFront(f);
     return BufferLookup{true, f};
@@ -51,7 +54,7 @@ BufferCache::lookup(BlockId b)
 BufferVictim
 BufferCache::allocate(BlockId b)
 {
-    odbsim_assert(map_.find(b) == map_.end(),
+    odbsim_assert(map_.find(b) == nullptr,
                   "allocate for already-resident block ", b);
     BufferVictim out;
 
@@ -83,7 +86,7 @@ BufferCache::allocate(BlockId b)
     fr.block = b;
     fr.dirty = false;
     fr.ioPending = true;
-    map_.emplace(b, f);
+    map_.findOrInsert(b) = f;
     pushFront(f);
     out.frame = f;
     return out;
@@ -104,7 +107,7 @@ BufferCache::markDirty(std::uint64_t frame)
 void
 BufferCache::prefill(BlockId b, bool dirty)
 {
-    if (map_.find(b) != map_.end())
+    if (map_.find(b) != nullptr)
         return;
     if (nextFree_ >= sentinel_)
         return;
@@ -113,16 +116,16 @@ BufferCache::prefill(BlockId b, bool dirty)
     fr.block = b;
     fr.dirty = dirty;
     fr.ioPending = false;
-    map_.emplace(b, f);
+    map_.findOrInsert(b) = f;
     pushFront(f);
 }
 
 void
 BufferCache::markClean(BlockId b)
 {
-    auto it = map_.find(b);
-    if (it != map_.end())
-        frames_[it->second].dirty = false;
+    const std::uint32_t *f = map_.find(b);
+    if (f)
+        frames_[*f].dirty = false;
 }
 
 void

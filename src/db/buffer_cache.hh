@@ -10,17 +10,26 @@
  * The studied configuration dedicated 2.8 GB to this cache — 358,400
  * frames — which sets the cached/scaled crossover near 33 warehouses
  * of ~10.7 K blocks each.
+ *
+ * Every replayed Touch action probes the resident-block index, so it
+ * is a sim::FlatMap reserved to the frame count at construction: the
+ * resident population can never exceed the frame count, so steady
+ * state never rehashes and lookups are one Fibonacci-hashed probe
+ * into a contiguous slot array (mapAllocations() observes this).
+ * metaAddr()'s bucket fold over the non-power-of-two frame count is a
+ * precomputed exact fastmod rather than a 64-bit hardware divide.
  */
 
 #ifndef ODBSIM_DB_BUFFER_CACHE_HH
 #define ODBSIM_DB_BUFFER_CACHE_HH
 
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
 #include "db/types.hh"
 #include "mem/addr_space.hh"
+#include "sim/fastmod.hh"
+#include "sim/flat_map.hh"
 #include "sim/types.hh"
 
 namespace odbsim::db
@@ -62,10 +71,10 @@ class BufferCache
     BufferLookup
     peek(BlockId b) const
     {
-        auto it = map_.find(b);
-        if (it == map_.end())
+        const std::uint32_t *f = map_.find(b);
+        if (!f)
             return BufferLookup{false, 0};
-        return BufferLookup{true, it->second};
+        return BufferLookup{true, *f};
     }
 
     /**
@@ -110,12 +119,17 @@ class BufferCache
         return mem::addrmap::frameAddr(f, blockBytes);
     }
 
-    /** Virtual address of the hash-bucket/descriptor for @p b. */
+    /**
+     * Virtual address of the hash-bucket/descriptor for @p b. The
+     * fold onto the frame count is an exact fastmod (bit-identical to
+     * `%`, asserted by test), so the per-Touch hot path never pays a
+     * 64-bit hardware divide.
+     */
     Addr
     metaAddr(BlockId b) const
     {
         const std::uint64_t bucket =
-            (b * 0x9e3779b97f4a7c15ULL) % numFrames();
+            frameMod_.mod(b * 0x9e3779b97f4a7c15ULL);
         return mem::addrmap::frameMetaAddr(bucket);
     }
 
@@ -133,6 +147,13 @@ class BufferCache
     void resetStats();
     /** @} */
 
+    /**
+     * Growth events of the resident-block index (perf-test hook).
+     * The index is reserved to the frame count at construction, so
+     * this must never advance after the constructor returns.
+     */
+    std::uint64_t mapAllocations() const { return map_.allocations(); }
+
   private:
     struct Frame
     {
@@ -147,7 +168,8 @@ class BufferCache
     void pushFront(std::uint32_t f);
 
     std::vector<Frame> frames_;
-    std::unordered_map<BlockId, std::uint32_t> map_;
+    sim::FlatMap<BlockId, std::uint32_t> map_;
+    sim::FastMod64 frameMod_;
     /** frames_.size() acts as the list sentinel index. */
     std::uint32_t sentinel_;
     std::uint64_t nextFree_ = 0;

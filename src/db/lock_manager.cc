@@ -5,37 +5,94 @@
 namespace odbsim::db
 {
 
+std::uint32_t
+LockManager::allocWaiter(os::Process *p)
+{
+    std::uint32_t n;
+    if (freeHead_ != npos) {
+        n = freeHead_;
+        freeHead_ = pool_[n].next;
+    } else {
+        if (pool_.size() == pool_.capacity())
+            ++poolAllocations_;
+        n = static_cast<std::uint32_t>(pool_.size());
+        pool_.emplace_back();
+    }
+    pool_[n].proc = p;
+    pool_[n].next = npos;
+    ++waiters_;
+    return n;
+}
+
+void
+LockManager::freeWaiter(std::uint32_t n)
+{
+    pool_[n].proc = nullptr;
+    pool_[n].next = freeHead_;
+    freeHead_ = n;
+    --waiters_;
+}
+
+void
+LockManager::reserve(std::size_t resources, std::size_t waiters)
+{
+    table_.reserve(resources);
+    if (waiters > pool_.capacity()) {
+        pool_.reserve(waiters);
+        ++poolAllocations_;
+    }
+}
+
 bool
 LockManager::acquire(os::Process *p, LockKey key)
 {
     acquires_.inc();
-    Resource &res = table_[key];
+    Resource &res = table_.findOrInsert(key);
     if (res.holder == nullptr) {
         res.holder = p;
+        ++held_;
         return true;
     }
     if (res.holder == p)
         return true; // Re-entrant acquisition within the transaction.
     conflicts_.inc();
-    res.waiters.push_back(p);
+    // Append to the resource's intrusive FIFO. The pool push cannot
+    // invalidate `res` (it lives in the flat table, not the pool).
+    const std::uint32_t n = allocWaiter(p);
+    if (res.tail == npos) {
+        res.head = n;
+    } else {
+        pool_[res.tail].next = n;
+    }
+    res.tail = n;
     return false;
 }
 
 void
 LockManager::release(os::Process *p, LockKey key, os::System &sys)
 {
-    auto it = table_.find(key);
-    odbsim_assert(it != table_.end(), "releasing unknown lock ", key);
-    Resource &res = it->second;
+    const std::size_t i = table_.findIndex(key);
+    odbsim_assert(i != decltype(table_)::npos,
+                  "releasing unknown lock ", key);
+    Resource &res = table_.valueAt(i);
     odbsim_assert(res.holder == p, "releasing foreign lock ", key);
-    if (res.waiters.empty()) {
-        table_.erase(it);
+    if (res.head == npos) {
+        // No waiter: the resource retires and the granted count
+        // drops. (heldCount() is maintained explicitly, so it would
+        // stay correct even if empty entries were kept around.)
+        --held_;
+        table_.eraseAt(i);
         return;
     }
     // Hand the lock to the oldest waiter and wake it; the wake pays a
-    // short kernel path (semaphore post + reschedule).
-    res.holder = res.waiters.front();
-    res.waiters.pop_front();
+    // short kernel path (semaphore post + reschedule). The granted
+    // count is unchanged: one holder replaces another.
+    const std::uint32_t n = res.head;
+    res.holder = pool_[n].proc;
+    res.head = pool_[n].next;
+    if (res.head == npos)
+        res.tail = npos;
+    freeWaiter(n);
     sys.wakeProcess(res.holder, 2500);
 }
 

@@ -10,19 +10,27 @@
  *
  * Deadlock freedom is by construction: planners emit lock actions in
  * the global (table rank, key) order.
+ *
+ * Every replayed Lock action probes the resource table, so storage is
+ * allocation-free in steady state: a sim::FlatMap from LockKey to a
+ * 16-byte Resource, and a free-list-pooled intrusive FIFO replacing
+ * the per-resource std::deque — waiter nodes live in one shared
+ * vector and each resource threads head/tail indices through it, so
+ * enqueueing a waiter or handing a lock over never touches the heap
+ * once the pool has reached its high-water mark (observable via
+ * tableAllocations()).
  */
 
 #ifndef ODBSIM_DB_LOCK_MANAGER_HH
 #define ODBSIM_DB_LOCK_MANAGER_HH
 
 #include <cstdint>
-#include <deque>
-#include <unordered_map>
 #include <vector>
 
 #include "db/types.hh"
 #include "os/process.hh"
 #include "os/system.hh"
+#include "sim/flat_map.hh"
 #include "sim/stats.hh"
 
 namespace odbsim::db
@@ -51,8 +59,34 @@ class LockManager
     void releaseAll(os::Process *p, std::vector<LockKey> &held,
                     os::System &sys);
 
-    /** Locks currently granted. */
-    std::size_t heldCount() const { return table_.size(); }
+    /**
+     * Locks currently granted — an explicit granted-holder count,
+     * maintained on grant/release, so it stays correct regardless of
+     * how the resource table stores (or retires) empty entries.
+     * Queued waiters do not count until the lock is handed to them.
+     */
+    std::size_t heldCount() const { return held_; }
+
+    /** Waiters currently queued across all resources. */
+    std::size_t waiterCount() const { return waiters_; }
+
+    /**
+     * Pre-size the resource table for @p resources simultaneously
+     * held locks and the waiter pool for @p waiters simultaneously
+     * queued processes.
+     */
+    void reserve(std::size_t resources, std::size_t waiters);
+
+    /**
+     * Growth events of the resource table plus the waiter pool
+     * (perf-test hook). Steady-state churn at or below the high-water
+     * population must not advance this.
+     */
+    std::uint64_t
+    tableAllocations() const
+    {
+        return table_.allocations() + poolAllocations_;
+    }
 
     /** @name Statistics @{ */
     std::uint64_t acquires() const { return acquires_.value(); }
@@ -66,13 +100,33 @@ class LockManager
     /** @} */
 
   private:
+    /** Index sentinel for the intrusive waiter lists. */
+    static constexpr std::uint32_t npos = ~std::uint32_t{0};
+
+    /** One locked row: the holder plus its FIFO of waiter nodes. */
     struct Resource
     {
         os::Process *holder = nullptr;
-        std::deque<os::Process *> waiters;
+        std::uint32_t head = npos; ///< Oldest waiter (granted next).
+        std::uint32_t tail = npos; ///< Newest waiter.
     };
 
-    std::unordered_map<LockKey, Resource> table_;
+    /** Pooled waiter-queue node (lives in pool_, linked by index). */
+    struct Waiter
+    {
+        os::Process *proc = nullptr;
+        std::uint32_t next = npos;
+    };
+
+    std::uint32_t allocWaiter(os::Process *p);
+    void freeWaiter(std::uint32_t n);
+
+    sim::FlatMap<LockKey, Resource> table_;
+    std::vector<Waiter> pool_;
+    std::uint32_t freeHead_ = npos;
+    std::size_t held_ = 0;
+    std::size_t waiters_ = 0;
+    std::uint64_t poolAllocations_ = 0;
     Counter acquires_;
     Counter conflicts_;
 };

@@ -105,6 +105,15 @@ Schema::Schema(const SchemaConfig &cfg)
     districtYtd_.assign(dd, 30000.0);
     warehouseYtd_.assign(w, 300000.0);
     historySeq_.assign(w, 0);
+
+    // Size the lazily materialized state for the skew-favoured
+    // working set (hot customers and stock the mix keeps revisiting)
+    // so warm-up materializes it without a rehash. The tables still
+    // grow past this as a long run's populations climb, but only at
+    // high-water marks (see stateAllocations()).
+    liveOrders_.reserve(dd * 64);
+    stockQty_.reserve(w * 1024);
+    custBalance_.reserve(dd * 64);
 }
 
 double
@@ -241,7 +250,7 @@ Schema::allocateOrder(std::uint32_t w, std::uint32_t d,
     info.customer = customer;
     info.olCnt = ol_cnt;
     nextOlSeq_[dd] += ol_cnt;
-    liveOrders_.emplace((dd << 32) | oid, info);
+    liveOrders_.findOrInsert((dd << 32) | oid) = info;
     return oid;
 }
 
@@ -249,9 +258,8 @@ OrderInfo
 Schema::orderInfo(std::uint32_t w, std::uint32_t d, std::uint32_t o) const
 {
     const std::uint64_t dd = district(w, d);
-    auto it = liveOrders_.find((dd << 32) | o);
-    if (it != liveOrders_.end())
-        return it->second;
+    if (const OrderInfo *live = liveOrders_.find((dd << 32) | o))
+        return *live;
     // Pre-loaded order: derive deterministically. Initial orders are
     // laid out with 10 line slots each.
     OrderInfo info;
@@ -289,16 +297,15 @@ std::int32_t
 Schema::adjustStock(std::uint32_t w, std::uint32_t i, std::int32_t delta)
 {
     const std::uint64_t key = stockKey(w, i);
-    auto it = stockQty_.find(key);
-    std::int32_t qty;
-    if (it == stockQty_.end())
-        qty = static_cast<std::int32_t>(50 + mix(w, i, 0x57) % 50);
-    else
-        qty = it->second;
+    bool inserted;
+    std::int32_t &slot = stockQty_.findOrInsert(key, inserted);
+    std::int32_t qty =
+        inserted ? static_cast<std::int32_t>(50 + mix(w, i, 0x57) % 50)
+                 : slot;
     qty += delta;
     if (qty < 10)
         qty += 91; // TPC-C restock rule.
-    stockQty_[key] = qty;
+    slot = qty;
     return qty;
 }
 
@@ -307,10 +314,10 @@ Schema::adjustCustomerBalance(std::uint32_t w, std::uint32_t d,
                               std::uint32_t c, double delta)
 {
     const std::uint64_t key = customerKey(w, d, c);
-    auto it = custBalance_.find(key);
-    double bal = it == custBalance_.end() ? -10.0 : it->second;
-    bal += delta;
-    custBalance_[key] = bal;
+    bool inserted;
+    double &slot = custBalance_.findOrInsert(key, inserted);
+    double bal = (inserted ? -10.0 : slot) + delta;
+    slot = bal;
     return bal;
 }
 

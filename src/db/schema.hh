@@ -26,11 +26,11 @@
 #include <functional>
 #include <memory>
 #include <optional>
-#include <unordered_map>
 #include <vector>
 
 #include "db/btree.hh"
 #include "db/types.hh"
+#include "sim/flat_map.hh"
 
 namespace odbsim::db
 {
@@ -188,6 +188,21 @@ class Schema
                               std::uint32_t o) const;
 
     /**
+     * Growth events of the lazily materialized row-state tables
+     * (live orders, stock quantities, customer balances). The tables
+     * are reserved from the warehouse count at construction, so this
+     * only advances when the materialized population outgrows that
+     * initial sizing — planner steady state over a stable working set
+     * must keep it flat.
+     */
+    std::uint64_t
+    stateAllocations() const
+    {
+        return liveOrders_.allocations() + stockQty_.allocations() +
+               custBalance_.allocations();
+    }
+
+    /**
      * Emit block ids from hottest to coldest (for warm pre-fill);
      * stops when @p cb returns false.
      *
@@ -228,11 +243,17 @@ class Schema
     std::vector<std::uint32_t> historySeq_;
     std::uint64_t undoCursor_ = 0;
 
-    /** Orders created during the run (others are derived). */
-    std::unordered_map<std::uint64_t, OrderInfo> liveOrders_;
-    /** Lazily materialized stock quantities / balances. */
-    std::unordered_map<std::uint64_t, std::int32_t> stockQty_;
-    std::unordered_map<std::uint64_t, double> custBalance_;
+    /**
+     * Orders created during the run (others are derived), and the
+     * lazily materialized stock quantities / balances. Flat tables on
+     * the planner hot path; reserved from the warehouse count in the
+     * constructor so the warm working set materializes without a
+     * rehash. @{
+     */
+    sim::FlatMap<std::uint64_t, OrderInfo> liveOrders_;
+    sim::FlatMap<std::uint64_t, std::int32_t> stockQty_;
+    sim::FlatMap<std::uint64_t, double> custBalance_;
+    /** @} */
 };
 
 } // namespace odbsim::db

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "db/types.hh"
+#include "sim/logging.hh"
 
 namespace odbsim::db
 {
@@ -45,30 +46,46 @@ enum class TouchKind : std::uint8_t
     IndexNode,
 };
 
-/** One replayable step. */
+/**
+ * One replayable step, packed to 16 bytes: the kind/touch/fresh flags
+ * and the intra-block offset and byte count (both < blockBytes, so 13
+ * bits each) share one 32-bit meta word. Replay iterates millions of
+ * these back to back, so four actions per cache line instead of two
+ * measurably trims the trace walk, and the packing halves what the
+ * recycled per-process trace buffers hold resident.
+ */
 struct Action
 {
-    ActionKind kind = ActionKind::Compute;
-    TouchKind touch = TouchKind::HeapRead;
+    /** Block id (Touch) or lock key (Lock). */
+    std::uint64_t target = 0;
+    /** User instructions beyond the standard per-kind path. */
+    std::uint32_t instr = 0;
+
+    ActionKind
+    kind() const
+    {
+        return static_cast<ActionKind>(meta_ & 0x7u);
+    }
+    TouchKind
+    touch() const
+    {
+        return static_cast<TouchKind>((meta_ >> 3) & 0x3u);
+    }
     /**
      * Touch only: the block need not be read from disk on a buffer
      * miss (freshly formatted extent blocks: undo, new appends).
      */
-    bool fresh = false;
+    bool fresh() const { return (meta_ >> 5) & 0x1u; }
     /** Data extent touched within the block. */
-    std::uint16_t bytes = 0;
+    std::uint32_t bytes() const { return (meta_ >> 6) & 0x1fffu; }
     /** Byte offset of the touched extent within the block. */
-    std::uint16_t offset = 0;
-    /** User instructions beyond the standard per-kind path. */
-    std::uint32_t instr = 0;
-    /** Block id (Touch) or lock key (Lock). */
-    std::uint64_t target = 0;
+    std::uint32_t offset() const { return (meta_ >> 19) & 0x1fffu; }
 
     static Action
     lock(LockKey key)
     {
         Action a;
-        a.kind = ActionKind::Lock;
+        a.meta_ = packMeta(ActionKind::Lock);
         a.target = key;
         return a;
     }
@@ -77,7 +94,7 @@ struct Action
     unlock(LockKey key)
     {
         Action a;
-        a.kind = ActionKind::Unlock;
+        a.meta_ = packMeta(ActionKind::Unlock);
         a.target = key;
         return a;
     }
@@ -87,19 +104,21 @@ struct Action
               bool modify)
     {
         Action a;
-        a.kind = ActionKind::Touch;
-        a.touch = modify ? TouchKind::HeapModify : TouchKind::HeapRead;
+        a.meta_ = packMeta(ActionKind::Touch,
+                           modify ? TouchKind::HeapModify
+                                  : TouchKind::HeapRead,
+                           false, bytes, offset);
         a.target = b;
-        a.offset = offset;
-        a.bytes = bytes;
         return a;
     }
 
     static Action
     touchFresh(BlockId b, std::uint16_t offset, std::uint16_t bytes)
     {
-        Action a = touchHeap(b, offset, bytes, true);
-        a.fresh = true;
+        Action a;
+        a.meta_ = packMeta(ActionKind::Touch, TouchKind::HeapModify,
+                           true, bytes, offset);
+        a.target = b;
         return a;
     }
 
@@ -107,11 +126,9 @@ struct Action
     touchIndex(BlockId b, std::uint16_t offset)
     {
         Action a;
-        a.kind = ActionKind::Touch;
-        a.touch = TouchKind::IndexNode;
+        a.meta_ = packMeta(ActionKind::Touch, TouchKind::IndexNode,
+                           false, 256, offset);
         a.target = b;
-        a.offset = offset;
-        a.bytes = 256;
         return a;
     }
 
@@ -119,7 +136,7 @@ struct Action
     compute(std::uint32_t instr)
     {
         Action a;
-        a.kind = ActionKind::Compute;
+        a.meta_ = packMeta(ActionKind::Compute);
         a.instr = instr;
         return a;
     }
@@ -128,10 +145,29 @@ struct Action
     commit()
     {
         Action a;
-        a.kind = ActionKind::Commit;
+        a.meta_ = packMeta(ActionKind::Commit);
         return a;
     }
+
+  private:
+    static std::uint32_t
+    packMeta(ActionKind kind, TouchKind touch = TouchKind::HeapRead,
+             bool fresh = false, std::uint32_t bytes = 0,
+             std::uint32_t offset = 0)
+    {
+        odbsim_assert(bytes < blockBytes && offset < blockBytes,
+                      "touch extent outside the block: offset ", offset,
+                      " bytes ", bytes);
+        return static_cast<std::uint32_t>(kind) |
+               (static_cast<std::uint32_t>(touch) << 3) |
+               (static_cast<std::uint32_t>(fresh) << 5) | (bytes << 6) |
+               (offset << 19);
+    }
+
+    /** kind:3 | touch:2 | fresh:1 | bytes:13 | offset:13. */
+    std::uint32_t meta_ = static_cast<std::uint32_t>(ActionKind::Compute);
 };
+static_assert(sizeof(Action) == 16, "replay actions must stay packed");
 
 /** The five ODB transaction types (TPC-C-like mix). */
 enum class TxnType : std::uint8_t
@@ -165,6 +201,19 @@ struct ActionTrace
     TxnType type = TxnType::NewOrder;
     std::uint32_t logBytes = 0;
     std::vector<Action> actions;
+
+    /**
+     * Begin a new transaction in this trace, retaining the action
+     * buffer's capacity — a server process replans into the same
+     * trace forever, so steady-state planning allocates nothing.
+     */
+    void
+    reset(TxnType ty)
+    {
+        type = ty;
+        logBytes = 0;
+        actions.clear();
+    }
 };
 
 } // namespace odbsim::db

@@ -1,6 +1,5 @@
 #include "mem/coherence.hh"
 
-#include <algorithm>
 #include <bit>
 
 #include "sim/logging.hh"
@@ -8,119 +7,24 @@
 namespace odbsim::mem
 {
 
-namespace
-{
-
-/** Starting table size: 16 KiB of slots, far below any real grid
- *  point's tracked population so reserve() normally sizes the table
- *  once and warm-up never rehashes. */
-constexpr std::size_t minCapacity = 1024;
-
-} // namespace
-
 CoherenceDirectory::CoherenceDirectory(unsigned num_cpus)
     : numCpus_(num_cpus)
 {
     odbsim_assert(num_cpus >= 1 && num_cpus <= maxCoherentCpus,
                   "unsupported CPU count ", num_cpus);
-    rehash(minCapacity);
-}
-
-const CoherenceDirectory::Slot *
-CoherenceDirectory::find(Addr key) const
-{
-    std::size_t i = indexOf(key);
-    while (live(slots_[i])) {
-        if (slots_[i].key == key)
-            return &slots_[i];
-        i = (i + 1) & mask_;
-    }
-    return nullptr;
-}
-
-CoherenceDirectory::Slot &
-CoherenceDirectory::findOrInsert(Addr key)
-{
-    // Keep the load factor below 7/8 so probe chains stay short and
-    // an empty slot always terminates the scan. Growth only triggers
-    // while the tracked population reaches a new high-water mark.
-    if ((size_ + 1) * 8 > slots_.size() * 7)
-        rehash(slots_.size() * 2);
-
-    std::size_t i = indexOf(key);
-    while (live(slots_[i])) {
-        if (slots_[i].key == key)
-            return slots_[i];
-        i = (i + 1) & mask_;
-    }
-    Slot &s = slots_[i];
-    s.key = key;
-    s.sharers = 0;
-    s.modifiedOwner = -1;
-    s.gen = gen_;
-    ++size_;
-    return s;
-}
-
-void
-CoherenceDirectory::eraseAt(std::size_t i)
-{
-    --size_;
-    // Backward-shift deletion: pull every displaced follower of the
-    // probe chain one hole closer to its ideal slot, leaving no
-    // tombstone behind.
-    std::size_t j = i;
-    while (true) {
-        j = (j + 1) & mask_;
-        if (!live(slots_[j]))
-            break;
-        const std::size_t ideal = indexOf(slots_[j].key);
-        if (((j - ideal) & mask_) >= ((j - i) & mask_)) {
-            slots_[i] = slots_[j];
-            i = j;
-        }
-    }
-    // Mark empty with a stamp that can never equal a future live
-    // generation: gen_ only grows until its wrap re-zeroes the array.
-    slots_[i].gen = static_cast<std::uint16_t>(gen_ - 1);
-}
-
-void
-CoherenceDirectory::rehash(std::size_t new_capacity)
-{
-    odbsim_assert(std::has_single_bit(new_capacity),
-                  "directory capacity must be a power of two");
-    std::vector<Slot> old = std::move(slots_);
-    slots_.assign(new_capacity, Slot{});
-    mask_ = new_capacity - 1;
-    shift_ = 64 - static_cast<unsigned>(std::countr_zero(new_capacity));
-    ++allocations_;
-    for (const Slot &s : old) {
-        if (s.gen != gen_)
-            continue;
-        std::size_t i = indexOf(s.key);
-        while (live(slots_[i]))
-            i = (i + 1) & mask_;
-        slots_[i] = s;
-    }
 }
 
 void
 CoherenceDirectory::reserve(std::size_t lines)
 {
-    std::size_t cap = minCapacity;
-    // Capacity such that `lines` stays under the 7/8 load threshold.
-    while ((lines + 1) * 8 > cap * 7)
-        cap *= 2;
-    if (cap > slots_.size())
-        rehash(cap);
+    table_.reserve(lines);
 }
 
 CoherenceOutcome
 CoherenceDirectory::onFill(unsigned cpu, Addr line_addr, bool is_write)
 {
     CoherenceOutcome out;
-    Slot &e = findOrInsert(line_addr);
+    LineState &e = table_.findOrInsert(line_addr);
     const std::uint32_t self = 1u << cpu;
 
     if (e.modifiedOwner >= 0 &&
@@ -148,7 +52,7 @@ CoherenceDirectory::onFill(unsigned cpu, Addr line_addr, bool is_write)
 std::uint32_t
 CoherenceDirectory::onWriteHit(unsigned cpu, Addr line_addr)
 {
-    Slot &e = findOrInsert(line_addr);
+    LineState &e = table_.findOrInsert(line_addr);
     const std::uint32_t self = 1u << cpu;
     const std::uint32_t remote = e.sharers & ~self;
     invalidations_ += std::popcount(remote);
@@ -162,7 +66,7 @@ CoherenceDirectory::touchSolo(Addr line_addr, bool is_write)
 {
     odbsim_assert(numCpus_ == 1,
                   "touchSolo is only valid on a single-CPU directory");
-    Slot &e = findOrInsert(line_addr);
+    LineState &e = table_.findOrInsert(line_addr);
     if (is_write) {
         e.sharers = 1u;
         e.modifiedOwner = 0;
@@ -174,7 +78,7 @@ CoherenceDirectory::touchSolo(Addr line_addr, bool is_write)
 SnoopState
 CoherenceDirectory::snoop(Addr line_addr) const
 {
-    const Slot *s = find(line_addr);
+    const LineState *s = table_.find(line_addr);
     if (!s)
         return SnoopState{};
     return SnoopState{true, s->sharers, s->modifiedOwner};
@@ -183,48 +87,29 @@ CoherenceDirectory::snoop(Addr line_addr) const
 void
 CoherenceDirectory::onEviction(unsigned cpu, Addr line_addr)
 {
-    std::size_t i = indexOf(line_addr);
-    while (live(slots_[i])) {
-        if (slots_[i].key == line_addr)
-            break;
-        i = (i + 1) & mask_;
-    }
-    if (!live(slots_[i]))
+    const std::size_t i = table_.findIndex(line_addr);
+    if (i == Table::npos)
         return;
-    Slot &e = slots_[i];
+    LineState &e = table_.valueAt(i);
     e.sharers &= ~(1u << cpu);
     if (e.modifiedOwner >= 0 &&
         static_cast<unsigned>(e.modifiedOwner) == cpu) {
         e.modifiedOwner = -1;
     }
     if (e.sharers == 0 && e.modifiedOwner < 0)
-        eraseAt(i);
+        table_.eraseAt(i);
 }
 
 void
 CoherenceDirectory::onDmaFill(Addr line_addr)
 {
-    std::size_t i = indexOf(line_addr);
-    while (live(slots_[i])) {
-        if (slots_[i].key == line_addr) {
-            eraseAt(i);
-            return;
-        }
-        i = (i + 1) & mask_;
-    }
+    table_.erase(line_addr);
 }
 
 void
 CoherenceDirectory::clear()
 {
-    size_ = 0;
-    ++gen_;
-    if (gen_ == 0) {
-        // 16-bit generation wrapped: wipe the array so stamps from
-        // 65535 clears ago cannot resurrect as live.
-        std::fill(slots_.begin(), slots_.end(), Slot{});
-        gen_ = 1;
-    }
+    table_.clear();
 }
 
 } // namespace odbsim::mem

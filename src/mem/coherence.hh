@@ -9,8 +9,9 @@
  *
  * The directory sits on the memory-system hot path (every write hit,
  * L3 fill, eviction and DMA snoop touches it), so its storage is a
- * flat open-addressing hash table rather than a node-based map: one
- * contiguous array of packed 16-byte slots, power-of-two capacity with
+ * sim::FlatMap — the flat open-addressing table that originated here
+ * and was extracted to sim/flat_map.hh once the db layer needed the
+ * same discipline: packed 16-byte slots, power-of-two capacity with
  * Fibonacci hashing and linear probing, backward-shift deletion (no
  * tombstones, so probe chains never rot), and an O(1) clear() via
  * generation stamping. After warm-up the table performs zero heap
@@ -24,8 +25,8 @@
 #include <cstddef>
 #include <cstdint>
 #include <limits>
-#include <vector>
 
+#include "sim/flat_map.hh"
 #include "sim/types.hh"
 
 namespace odbsim::mem
@@ -101,7 +102,7 @@ class CoherenceDirectory
     void clear();
 
     /** Lines currently tracked. */
-    std::size_t trackedLines() const { return size_; }
+    std::size_t trackedLines() const { return table_.size(); }
 
     /**
      * Pre-size the table for @p lines tracked lines so the warm-up
@@ -111,14 +112,14 @@ class CoherenceDirectory
 
     /** @name Allocation observability (perf-test hook) @{ */
     /** Slots in the flat table (always a power of two). */
-    std::size_t capacity() const { return slots_.size(); }
+    std::size_t capacity() const { return table_.capacity(); }
     /**
      * Heap allocations the table has performed so far (construction,
      * reserve() and load-driven rehashes). Steady-state operation —
      * any churn whose tracked population stays at or below the
      * high-water mark — must not advance this.
      */
-    std::uint64_t tableAllocations() const { return allocations_; }
+    std::uint64_t tableAllocations() const { return table_.allocations(); }
     /** @} */
 
     /** @name Raw statistics @{ */
@@ -133,21 +134,21 @@ class CoherenceDirectory
     /** @} */
 
   private:
-    /**
-     * One tracked line, packed to 16 bytes. A slot is live iff its
-     * generation stamp equals the directory's current generation;
-     * clear() invalidates every slot by bumping the generation, and
-     * the (rare) 16-bit wrap re-zeroes the array so a stale stamp can
-     * never be mistaken for live again.
-     */
-    struct Slot
+    /** Sharer/owner state for one tracked line. */
+    struct LineState
     {
-        Addr key = 0;
         std::uint32_t sharers = 0;
         std::int16_t modifiedOwner = -1;
-        std::uint16_t gen = 0;
     };
-    static_assert(sizeof(Slot) == 16, "directory slot must stay packed");
+
+    /**
+     * Tracked lines. FlatMap keeps the generation stamps in a side
+     * array, so a stored slot is exactly {Addr, LineState} — the same
+     * 16 packed bytes the original in-class table used.
+     */
+    using Table = sim::FlatMap<Addr, LineState>;
+    static_assert(sizeof(Table::Slot) == 16,
+                  "directory slot must stay packed");
     static_assert(maxCoherentCpus <=
                       static_cast<unsigned>(
                           std::numeric_limits<std::int16_t>::max()),
@@ -155,26 +156,8 @@ class CoherenceDirectory
     static_assert(maxCoherentCpus <= 32,
                   "sharers bitmask is 32 bits wide");
 
-    std::size_t indexOf(Addr key) const
-    {
-        return static_cast<std::size_t>(
-            (key * 0x9e3779b97f4a7c15ULL) >> shift_);
-    }
-
-    bool live(const Slot &s) const { return s.gen == gen_; }
-
-    const Slot *find(Addr key) const;
-    Slot &findOrInsert(Addr key);
-    void eraseAt(std::size_t i);
-    void rehash(std::size_t new_capacity);
-
     unsigned numCpus_;
-    std::vector<Slot> slots_;
-    std::size_t mask_ = 0;   ///< capacity - 1
-    unsigned shift_ = 0;     ///< 64 - log2(capacity), for the hash
-    std::size_t size_ = 0;   ///< live slots
-    std::uint16_t gen_ = 1;  ///< current live generation (never 0)
-    std::uint64_t allocations_ = 0;
+    Table table_;
     std::uint64_t coherenceMisses_ = 0;
     std::uint64_t invalidations_ = 0;
 };

@@ -58,8 +58,8 @@ TxnPlanner::TxnPlanner(db::Database &database, const TxnMix &mix)
                   total);
 }
 
-ActionTrace
-TxnPlanner::planRandom(Rng &rng, std::uint32_t home_w)
+void
+TxnPlanner::planRandom(Rng &rng, std::uint32_t home_w, ActionTrace &out)
 {
     const unsigned pick = static_cast<unsigned>(rng.below(100));
     TxnType type;
@@ -75,14 +75,15 @@ TxnPlanner::planRandom(Rng &rng, std::uint32_t home_w)
         type = TxnType::Delivery;
     else
         type = TxnType::StockLevel;
-    return plan(type, rng, home_w);
+    plan(type, rng, home_w, out);
 }
 
-ActionTrace
-TxnPlanner::plan(TxnType type, Rng &rng, std::uint32_t home_w)
+void
+TxnPlanner::plan(TxnType type, Rng &rng, std::uint32_t home_w,
+                 ActionTrace &out)
 {
-    ActionTrace t;
-    t.type = type;
+    ActionTrace &t = out;
+    t.reset(type);
     // Per-transaction fixed path: begin, client round trips, commit
     // machinery.
     t.actions.push_back(Action::compute(db_.costs().txnBaseInstr));
@@ -106,7 +107,6 @@ TxnPlanner::plan(TxnType type, Rng &rng, std::uint32_t home_w)
         odbsim_panic("unknown transaction type");
     }
     t.actions.push_back(Action::commit());
-    return t;
 }
 
 void

@@ -42,12 +42,34 @@ class TxnPlanner
   public:
     TxnPlanner(db::Database &database, const TxnMix &mix);
 
-    /** Pick a type from the mix and plan it for @p home_w. */
-    db::ActionTrace planRandom(Rng &rng, std::uint32_t home_w);
+    /**
+     * Pick a type from the mix and plan it for @p home_w into @p out
+     * (reset first, capacity retained — the zero-allocation path a
+     * server process replans its recycled trace through).
+     */
+    void planRandom(Rng &rng, std::uint32_t home_w,
+                    db::ActionTrace &out);
 
-    /** Plan a specific transaction type. */
-    db::ActionTrace plan(db::TxnType type, Rng &rng,
-                         std::uint32_t home_w);
+    /** Plan a specific transaction type into @p out. */
+    void plan(db::TxnType type, Rng &rng, std::uint32_t home_w,
+              db::ActionTrace &out);
+
+    /** Convenience by-value forms (tests, tooling). @{ */
+    db::ActionTrace
+    planRandom(Rng &rng, std::uint32_t home_w)
+    {
+        db::ActionTrace t;
+        planRandom(rng, home_w, t);
+        return t;
+    }
+    db::ActionTrace
+    plan(db::TxnType type, Rng &rng, std::uint32_t home_w)
+    {
+        db::ActionTrace t;
+        plan(type, rng, home_w, t);
+        return t;
+    }
+    /** @} */
 
     const TxnMix &mix() const { return mix_; }
 

@@ -18,7 +18,11 @@ ServerProcess::ServerProcess(db::Database &database, OdbWorkload &workload,
                              Rng rng)
     : os::Process("server-w" + std::to_string(home_w)), db_(database),
       workload_(workload), planner_(planner), homeW_(home_w), rng_(rng)
-{}
+{
+    // A transaction holds a handful of row locks (NewOrder: ~13);
+    // pre-sizing keeps steady-state replay off the heap.
+    heldLocks_.reserve(32);
+}
 
 cpu::WorkItem
 ServerProcess::baseWork(std::uint64_t instr) const
@@ -52,7 +56,7 @@ ServerProcess::next(os::System &sys)
         // contention spike of Figure 8.
         const std::uint32_t w = static_cast<std::uint32_t>(
             rng_.below(db_.schema().warehouses()));
-        trace_ = planner_.planRandom(rng_, w);
+        planner_.planRandom(rng_, w, trace_);
         pc_ = 0;
         txnActive_ = true;
         txnStart_ = sys.now();
@@ -63,7 +67,7 @@ ServerProcess::next(os::System &sys)
 
     odbsim_assert(pc_ < trace_.actions.size(), "trace overrun");
     const Action &a = trace_.actions[pc_];
-    switch (a.kind) {
+    switch (a.kind()) {
       case ActionKind::Lock:
         return replayLock(sys, a);
       case ActionKind::Unlock:
@@ -135,7 +139,7 @@ ServerProcess::replayTouch(os::System &sys, const Action &a)
     const auto &costs = db_.costs();
     db::BufferCache &bc = db_.bufferCache();
     const db::BlockId block = a.target;
-    const bool modify = a.touch == TouchKind::HeapModify;
+    const bool modify = a.touch() == TouchKind::HeapModify;
 
     std::uint64_t frame;
     if (resume_ == Resume::FillDone) {
@@ -149,7 +153,7 @@ ServerProcess::replayTouch(os::System &sys, const Action &a)
             const db::BufferVictim victim = bc.allocate(block);
             if (victim.wasDirty)
                 db_.dbwr().enqueueEvicted(victim.evictedBlock);
-            if (a.fresh) {
+            if (a.fresh()) {
                 // Freshly formatted extent block (undo, append ring):
                 // no read from disk is needed, just a frame.
                 bc.fillComplete(victim.frame);
@@ -188,29 +192,27 @@ ServerProcess::replayTouch(os::System &sys, const Action &a)
     out.work.dataRateScale = 1.0f;
     out.work.addRef(bc.metaAddr(block), 64, false);
 
-    switch (a.touch) {
+    switch (a.touch()) {
       case TouchKind::HeapRead:
         out.work.instructions += costs.rowAccessInstr;
         // Block header + the row itself.
         out.work.addRef(base, 64, false);
-        out.work.addRef(base + a.offset, std::max<std::uint16_t>(a.bytes,
-                                                                 64),
-                        false);
+        out.work.addRef(base + a.offset(),
+                        std::max<std::uint32_t>(a.bytes(), 64), false);
         break;
       case TouchKind::HeapModify:
         out.work.instructions +=
             costs.rowAccessInstr + costs.rowModifyInstr;
         out.work.addRef(base, 64, true);
-        out.work.addRef(base + a.offset, std::max<std::uint16_t>(a.bytes,
-                                                                 64),
-                        true);
+        out.work.addRef(base + a.offset(),
+                        std::max<std::uint32_t>(a.bytes(), 64), true);
         break;
       case TouchKind::IndexNode:
         out.work.instructions += costs.indexNodeInstr;
         // Binary-search top of the node (deterministic, hot) plus the
         // key-dependent entry.
         out.work.addRef(base + 4032, 128, false);
-        out.work.addRef(base + a.offset, 64, false);
+        out.work.addRef(base + a.offset(), 64, false);
         break;
     }
     if (modify && !bc.isDirty(frame)) {

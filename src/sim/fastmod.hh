@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Exact division-free modulo by a runtime-constant divisor, after
+ * Lemire, Kaser & Kurz, "Faster remainder by direct computation"
+ * (2019), widened to 128 fractional bits so it is exact for every
+ * 64-bit dividend.
+ *
+ * The buffer cache maps hashed block ids onto its (non-power-of-two)
+ * frame count on every Touch action; a 64-bit hardware `div` there
+ * costs tens of cycles on the studied-era cores, while this costs
+ * four multiplies. Exactness matters: metaAddr() feeds the simulated
+ * address stream, so the bit-exactness contract (docs/ARCHITECTURE.md)
+ * requires fastmod(n) == n % d for every input.
+ *
+ * Correctness sketch: let M = ceil(2^128 / d) = (2^128 + e) / d with
+ * 0 <= e < d. For n = q*d + r, M*n mod 2^128 = q*e + r*M (no wrap,
+ * since (q*e + r*M)*d = 2^128*r + e*n < 2^128*d), and multiplying by
+ * d gives floor((M*n mod 2^128) * d / 2^128) = r + floor(e*n / 2^128)
+ * = r, because e*n < d * 2^64 <= 2^128. So the result is exact for
+ * all n < 2^64 and all d >= 1. (d = 1 wraps M to 0 and yields 0,
+ * which is also correct.)
+ */
+
+#ifndef ODBSIM_SIM_FASTMOD_HH
+#define ODBSIM_SIM_FASTMOD_HH
+
+#include <cstdint>
+
+#include "sim/logging.hh"
+
+namespace odbsim::sim
+{
+
+/** Precomputed `% d` over 64-bit dividends, exact for all inputs. */
+class FastMod64
+{
+  public:
+    /** A divisor of 1 until reset(); mod() returns 0. */
+    FastMod64() = default;
+
+    explicit FastMod64(std::uint64_t divisor) { reset(divisor); }
+
+    void
+    reset(std::uint64_t divisor)
+    {
+        odbsim_assert(divisor >= 1, "fastmod divisor must be >= 1");
+        d_ = divisor;
+        // M = ceil(2^128 / d), computed as floor((2^128 - 1) / d) + 1
+        // (d never divides 2^128 exactly except d a power of two, for
+        // which the +1 carry is still the correct ceiling mod 2^128).
+        const unsigned __int128 m =
+            ~static_cast<unsigned __int128>(0) / divisor + 1;
+        mLo_ = static_cast<std::uint64_t>(m);
+        mHi_ = static_cast<std::uint64_t>(m >> 64);
+    }
+
+    std::uint64_t divisor() const { return d_; }
+
+    /** n % divisor, without a division. */
+    std::uint64_t
+    mod(std::uint64_t n) const
+    {
+        // frac = (M * n) mod 2^128; only the low 64 bits of mHi_*n
+        // survive the shift into the upper limb.
+        const unsigned __int128 lo =
+            static_cast<unsigned __int128>(mLo_) * n;
+        const unsigned __int128 frac =
+            lo + (static_cast<unsigned __int128>(mHi_ * n) << 64);
+        // result = floor(frac * d / 2^128), assembled from the two
+        // 64x64->128 partial products.
+        const std::uint64_t frac_hi =
+            static_cast<std::uint64_t>(frac >> 64);
+        const std::uint64_t frac_lo = static_cast<std::uint64_t>(frac);
+        const unsigned __int128 carry =
+            (static_cast<unsigned __int128>(frac_lo) * d_) >> 64;
+        return static_cast<std::uint64_t>(
+            (static_cast<unsigned __int128>(frac_hi) * d_ + carry) >> 64);
+    }
+
+  private:
+    std::uint64_t d_ = 1;
+    std::uint64_t mLo_ = 0;
+    std::uint64_t mHi_ = 0;
+};
+
+} // namespace odbsim::sim
+
+#endif // ODBSIM_SIM_FASTMOD_HH

@@ -1,0 +1,279 @@
+/**
+ * @file
+ * FlatMap: the flat open-addressing hash table behind every hot-path
+ * key→value store in the simulator. It started life inside the
+ * coherence directory (mem/coherence.cc) and was extracted once the
+ * db layer — buffer-cache index, lock-resource table, schema row
+ * state — needed the same storage discipline.
+ *
+ * Design (unchanged from the directory's original table, so the port
+ * is bit-identical):
+ *  - one contiguous slot array, power-of-two capacity, Fibonacci
+ *    hashing (`key * 0x9e3779b97f4a7c15 >> shift`) with linear
+ *    probing at a load factor kept below 7/8;
+ *  - backward-shift deletion — followers of the probe chain are
+ *    pulled one hole closer to their ideal slot, so there are no
+ *    tombstones and probe chains never rot under churn;
+ *  - O(1) clear() via 16-bit generation stamps: a slot is live iff
+ *    its stamp equals the map's current generation, and the (rare)
+ *    wrap re-zeroes the stamp array so a stale stamp can never be
+ *    mistaken for live again;
+ *  - zero steady-state heap allocations: growth only happens while
+ *    the population reaches a new high-water mark, observable via
+ *    allocations() (the perf-test hook the coherence directory
+ *    exposed as tableAllocations()).
+ *
+ * The generation stamps live in a parallel array rather than inside
+ * the slot, which keeps a slot at exactly sizeof(Key) + sizeof(Mapped)
+ * (the directory's 16-byte packed-slot property) and makes the probe
+ * scan read a dense 2-byte-per-entry liveness vector.
+ *
+ * Keys must be unsigned integers that fit in 64 bits; values must be
+ * trivially copyable (slots are relocated by assignment during
+ * backward shifts and rehashes).
+ */
+
+#ifndef ODBSIM_SIM_FLAT_MAP_HH
+#define ODBSIM_SIM_FLAT_MAP_HH
+
+#include <algorithm>
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <type_traits>
+#include <vector>
+
+#include "sim/logging.hh"
+
+namespace odbsim::sim
+{
+
+template <typename Key, typename Mapped>
+class FlatMap
+{
+  public:
+    static_assert(std::is_integral_v<Key> && sizeof(Key) <= 8,
+                  "FlatMap keys are hashed as 64-bit integers");
+    static_assert(std::is_trivially_copyable_v<Mapped>,
+                  "FlatMap relocates values by assignment");
+
+    /** One stored entry; exposed for sizing static_asserts. */
+    struct Slot
+    {
+        Key key{};
+        Mapped value{};
+    };
+
+    /** Sentinel index for "not found". */
+    static constexpr std::size_t npos = ~static_cast<std::size_t>(0);
+
+    /**
+     * @param min_capacity Starting slot count (power of two). The
+     *        default matches the coherence directory's original table:
+     *        well below any real population so reserve() normally
+     *        sizes the table once and warm-up never rehashes.
+     */
+    explicit FlatMap(std::size_t min_capacity = 1024)
+        : minCapacity_(min_capacity)
+    {
+        odbsim_assert(std::has_single_bit(min_capacity),
+                      "flat-map capacity must be a power of two");
+        rehash(min_capacity);
+    }
+
+    /** Index of @p key's slot, or npos. Never mutates. */
+    std::size_t
+    findIndex(Key key) const
+    {
+        std::size_t i = indexOf(key);
+        while (gens_[i] == gen_) {
+            if (slots_[i].key == key)
+                return i;
+            i = (i + 1) & mask_;
+        }
+        return npos;
+    }
+
+    /** Value lookup; nullptr when absent. @{ */
+    Mapped *
+    find(Key key)
+    {
+        const std::size_t i = findIndex(key);
+        return i == npos ? nullptr : &slots_[i].value;
+    }
+    const Mapped *
+    find(Key key) const
+    {
+        const std::size_t i = findIndex(key);
+        return i == npos ? nullptr : &slots_[i].value;
+    }
+    /** @} */
+
+    /** Entry access by index (valid until the next mutation). @{ */
+    Mapped &valueAt(std::size_t i) { return slots_[i].value; }
+    const Mapped &valueAt(std::size_t i) const { return slots_[i].value; }
+    Key keyAt(std::size_t i) const { return slots_[i].key; }
+    /** @} */
+
+    /**
+     * Find @p key, inserting a default-constructed value if absent.
+     * The reference is valid until the next mutation.
+     */
+    Mapped &
+    findOrInsert(Key key)
+    {
+        bool inserted;
+        return findOrInsert(key, inserted);
+    }
+
+    /** As above; @p inserted reports whether the entry is new. */
+    Mapped &
+    findOrInsert(Key key, bool &inserted)
+    {
+        // Keep the load factor below 7/8 so probe chains stay short
+        // and an empty slot always terminates the scan. Growth only
+        // triggers while the population reaches a new high-water mark.
+        if ((size_ + 1) * 8 > slots_.size() * 7)
+            rehash(slots_.size() * 2);
+
+        std::size_t i = indexOf(key);
+        while (gens_[i] == gen_) {
+            if (slots_[i].key == key) {
+                inserted = false;
+                return slots_[i].value;
+            }
+            i = (i + 1) & mask_;
+        }
+        slots_[i].key = key;
+        slots_[i].value = Mapped{};
+        gens_[i] = gen_;
+        ++size_;
+        inserted = true;
+        return slots_[i].value;
+    }
+
+    /** Erase the live entry at index @p i (from findIndex). */
+    void
+    eraseAt(std::size_t i)
+    {
+        --size_;
+        // Backward-shift deletion: pull every displaced follower of
+        // the probe chain one hole closer to its ideal slot, leaving
+        // no tombstone behind.
+        std::size_t j = i;
+        while (true) {
+            j = (j + 1) & mask_;
+            if (gens_[j] != gen_)
+                break;
+            const std::size_t ideal = indexOf(slots_[j].key);
+            if (((j - ideal) & mask_) >= ((j - i) & mask_)) {
+                slots_[i] = slots_[j];
+                i = j;
+            }
+        }
+        // Mark empty with a stamp that can never equal a future live
+        // generation: gen_ only grows until its wrap re-zeroes the
+        // stamp array.
+        gens_[i] = static_cast<std::uint16_t>(gen_ - 1);
+    }
+
+    /** Erase @p key if present; @return whether an entry was erased. */
+    bool
+    erase(Key key)
+    {
+        const std::size_t i = findIndex(key);
+        if (i == npos)
+            return false;
+        eraseAt(i);
+        return true;
+    }
+
+    /** Drop all entries (O(1): bumps the generation stamp). */
+    void
+    clear()
+    {
+        size_ = 0;
+        ++gen_;
+        if (gen_ == 0) {
+            // 16-bit generation wrapped: wipe the stamps so a value
+            // from 65535 clears ago cannot resurrect as live.
+            std::fill(gens_.begin(), gens_.end(), std::uint16_t{0});
+            gen_ = 1;
+        }
+    }
+
+    /**
+     * Pre-size the table for @p entries so the warm-up phase does not
+     * rehash. Never shrinks.
+     */
+    void
+    reserve(std::size_t entries)
+    {
+        std::size_t cap = minCapacity_;
+        // Capacity such that `entries` stays under the 7/8 threshold.
+        while ((entries + 1) * 8 > cap * 7)
+            cap *= 2;
+        if (cap > slots_.size())
+            rehash(cap);
+    }
+
+    /** Live entries. */
+    std::size_t size() const { return size_; }
+
+    /** @name Allocation observability (perf-test hook) @{ */
+    /** Slots in the table (always a power of two). */
+    std::size_t capacity() const { return slots_.size(); }
+    /**
+     * Growth events (construction, reserve() and load-driven
+     * rehashes). Steady-state operation — any churn whose population
+     * stays at or below the high-water mark — must not advance this.
+     */
+    std::uint64_t allocations() const { return allocations_; }
+    /** @} */
+
+  private:
+    std::size_t
+    indexOf(Key key) const
+    {
+        return static_cast<std::size_t>(
+            (static_cast<std::uint64_t>(key) * 0x9e3779b97f4a7c15ULL) >>
+            shift_);
+    }
+
+    void
+    rehash(std::size_t new_capacity)
+    {
+        odbsim_assert(std::has_single_bit(new_capacity),
+                      "flat-map capacity must be a power of two");
+        std::vector<Slot> old_slots = std::move(slots_);
+        std::vector<std::uint16_t> old_gens = std::move(gens_);
+        slots_.assign(new_capacity, Slot{});
+        gens_.assign(new_capacity, std::uint16_t{0});
+        mask_ = new_capacity - 1;
+        shift_ =
+            64 - static_cast<unsigned>(std::countr_zero(new_capacity));
+        ++allocations_;
+        for (std::size_t k = 0; k < old_slots.size(); ++k) {
+            if (old_gens[k] != gen_)
+                continue;
+            std::size_t i = indexOf(old_slots[k].key);
+            while (gens_[i] == gen_)
+                i = (i + 1) & mask_;
+            slots_[i] = old_slots[k];
+            gens_[i] = gen_;
+        }
+    }
+
+    std::size_t minCapacity_;
+    std::vector<Slot> slots_;
+    std::vector<std::uint16_t> gens_;
+    std::size_t mask_ = 0;   ///< capacity - 1
+    unsigned shift_ = 0;     ///< 64 - log2(capacity), for the hash
+    std::size_t size_ = 0;   ///< live slots
+    std::uint16_t gen_ = 1;  ///< current live generation (never 0)
+    std::uint64_t allocations_ = 0;
+};
+
+} // namespace odbsim::sim
+
+#endif // ODBSIM_SIM_FLAT_MAP_HH

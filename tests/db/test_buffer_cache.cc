@@ -188,6 +188,82 @@ TEST(BufferCache, ResetStats)
     EXPECT_EQ(bc.misses(), 0u);
 }
 
+TEST(BufferCache, MetaAddrMatchesHardwareDivide)
+{
+    // metaAddr's fastmod fold must be bit-identical to the `%` it
+    // replaced, for every frame count a config can choose — including
+    // the studied 2.8 GB configuration's 358,400 frames.
+    for (const std::uint64_t frames :
+         {8ull, 9ull, 100ull, 1000ull, 4096ull, 358'400ull}) {
+        BufferCache bc(frames);
+        for (BlockId b = 0; b < 2000; ++b) {
+            const std::uint64_t bucket =
+                (b * 0x9e3779b97f4a7c15ULL) % frames;
+            EXPECT_EQ(bc.metaAddr(b),
+                      mem::addrmap::frameMetaAddr(bucket))
+                << "b=" << b << " frames=" << frames;
+        }
+    }
+}
+
+TEST(BufferCacheDeathTest, AllocateWithAllFramesIoPendingAsserts)
+{
+    // Claim every frame without completing any fill: the next
+    // allocation has no evictable victim and must trip the assert
+    // rather than hand out a frame with an in-flight DMA.
+    BufferCache bc(8);
+    for (BlockId b = 0; b < 8; ++b)
+        bc.allocate(b);
+    EXPECT_DEATH({ bc.allocate(100); }, "frames are I/O pending");
+}
+
+TEST(BufferCache, MarkCleanOnIoPendingFrame)
+{
+    // DBWR may finish writing back a block that is concurrently being
+    // re-read; markClean must neither complete the fill nor make the
+    // frame evictable.
+    BufferCache bc(8);
+    const BufferVictim pending = bc.allocate(0);
+    bc.markClean(0);
+    EXPECT_FALSE(bc.isDirty(pending.frame));
+    for (BlockId b = 1; b < 8; ++b)
+        bc.fillComplete(bc.allocate(b).frame);
+    for (BlockId b = 100; b < 104; ++b) {
+        const BufferVictim v = bc.allocate(b);
+        EXPECT_NE(v.frame, pending.frame); // Still fill-protected.
+        bc.fillComplete(v.frame);
+    }
+    bc.fillComplete(pending.frame);
+    EXPECT_TRUE(bc.lookup(0).hit);
+}
+
+TEST(BufferCache, PrefillWhenFullLeavesResidentsIntact)
+{
+    BufferCache bc(8);
+    for (BlockId b = 0; b < 8; ++b)
+        bc.prefill(b, b == 2);
+    bc.prefill(50); // Full: must be a no-op, not an eviction.
+    EXPECT_EQ(bc.residentBlocks(), 8u);
+    EXPECT_FALSE(bc.peek(50).hit);
+    for (BlockId b = 0; b < 8; ++b)
+        EXPECT_TRUE(bc.peek(b).hit) << b;
+    EXPECT_TRUE(bc.isDirty(bc.peek(2).frame));
+}
+
+TEST(BufferCache, SteadyStateChurnNeverGrowsTheIndex)
+{
+    // The resident index is reserved to the frame count at
+    // construction; any amount of miss/evict churn afterwards must
+    // leave the growth counter flat.
+    BufferCache bc(64);
+    const std::uint64_t allocs = bc.mapAllocations();
+    for (BlockId b = 0; b < 10'000; ++b) {
+        if (!bc.lookup(b % 500).hit)
+            bc.fillComplete(bc.allocate(b % 500).frame);
+    }
+    EXPECT_EQ(bc.mapAllocations(), allocs);
+}
+
 /** Property: hit ratio is monotone in cache size for an LRU-friendly
  *  cyclic-with-skew reference pattern. */
 class BufferCacheSizeProperty

@@ -145,6 +145,98 @@ TEST(LockManager, LockKeyEncodingSeparatesTables)
               makeLockKey(Table::Customer, 2));
 }
 
+TEST(LockManager, HeldCountExcludesWaiters)
+{
+    Rig rig;
+    rig.locks.acquire(rig.p1, 1);
+    rig.locks.acquire(rig.p1, 2);
+    rig.locks.acquire(rig.p1, 3);
+    EXPECT_EQ(rig.locks.heldCount(), 3u);
+    EXPECT_EQ(rig.locks.waiterCount(), 0u);
+    // Two contenders queue on key 1: granted holders are unchanged.
+    rig.locks.acquire(rig.p2, 1);
+    rig.locks.acquire(rig.p3, 1);
+    EXPECT_EQ(rig.locks.heldCount(), 3u);
+    EXPECT_EQ(rig.locks.waiterCount(), 2u);
+}
+
+TEST(LockManager, HeldCountAcrossHandOffChain)
+{
+    Rig rig;
+    rig.locks.acquire(rig.p1, 100);
+    rig.locks.acquire(rig.p2, 100);
+    rig.locks.acquire(rig.p3, 100);
+    EXPECT_EQ(rig.locks.heldCount(), 1u);
+    EXPECT_EQ(rig.locks.waiterCount(), 2u);
+    // Hand-off: one holder replaces another, held count unchanged.
+    rig.locks.release(rig.p1, 100, rig.sys);
+    EXPECT_EQ(rig.locks.heldCount(), 1u);
+    EXPECT_EQ(rig.locks.waiterCount(), 1u);
+    rig.locks.release(rig.p2, 100, rig.sys);
+    EXPECT_EQ(rig.locks.heldCount(), 1u);
+    EXPECT_EQ(rig.locks.waiterCount(), 0u);
+    // Final release retires the resource.
+    rig.locks.release(rig.p3, 100, rig.sys);
+    EXPECT_EQ(rig.locks.heldCount(), 0u);
+    EXPECT_EQ(rig.locks.waiterCount(), 0u);
+}
+
+TEST(LockManager, ReentrantAcquireDoesNotInflateHeldCount)
+{
+    Rig rig;
+    rig.locks.acquire(rig.p1, 100);
+    rig.locks.acquire(rig.p1, 100);
+    EXPECT_EQ(rig.locks.heldCount(), 1u);
+}
+
+TEST(LockManager, SteadyStateChurnNeverGrowsTheTable)
+{
+    Rig rig;
+    // One warm-up round establishes the high-water population of the
+    // resource table and the waiter pool...
+    auto round = [&rig] {
+        for (LockKey k = 0; k < 8; ++k)
+            rig.locks.acquire(rig.p1, k);
+        for (LockKey k = 0; k < 4; ++k)
+            rig.locks.acquire(rig.p2, k);
+        for (LockKey k = 0; k < 2; ++k)
+            rig.locks.acquire(rig.p3, k);
+        for (LockKey k = 0; k < 8; ++k)
+            rig.locks.release(rig.p1, k, rig.sys);
+        for (LockKey k = 0; k < 4; ++k)
+            rig.locks.release(rig.p2, k, rig.sys);
+        for (LockKey k = 0; k < 2; ++k)
+            rig.locks.release(rig.p3, k, rig.sys);
+    };
+    round();
+    // ...after which identical contended churn must be allocation-free
+    // (the pooled waiter free-list and flat table never grow).
+    const std::uint64_t allocs = rig.locks.tableAllocations();
+    for (int i = 0; i < 1000; ++i)
+        round();
+    EXPECT_EQ(rig.locks.tableAllocations(), allocs);
+    EXPECT_EQ(rig.locks.heldCount(), 0u);
+    EXPECT_EQ(rig.locks.waiterCount(), 0u);
+}
+
+TEST(LockManager, ReservePresizesTableAndPool)
+{
+    Rig rig;
+    rig.locks.reserve(64, 16);
+    const std::uint64_t allocs = rig.locks.tableAllocations();
+    for (LockKey k = 0; k < 64; ++k)
+        rig.locks.acquire(rig.p1, k);
+    for (LockKey k = 0; k < 16; ++k)
+        rig.locks.acquire(rig.p2, k);
+    EXPECT_EQ(rig.locks.tableAllocations(), allocs);
+    for (LockKey k = 0; k < 64; ++k)
+        rig.locks.release(rig.p1, k, rig.sys);
+    // Keys 0-15 were handed off to the queued p2.
+    for (LockKey k = 0; k < 16; ++k)
+        rig.locks.release(rig.p2, k, rig.sys);
+    EXPECT_EQ(rig.locks.heldCount(), 0u);
+}
+
 TEST(LockManager, StatsCountAcquires)
 {
     Rig rig;

@@ -15,53 +15,53 @@ using namespace odbsim::db;
 TEST(Action, LockBuilder)
 {
     const Action a = Action::lock(makeLockKey(Table::Warehouse, 7));
-    EXPECT_EQ(a.kind, ActionKind::Lock);
+    EXPECT_EQ(a.kind(), ActionKind::Lock);
     EXPECT_EQ(a.target, makeLockKey(Table::Warehouse, 7));
 }
 
 TEST(Action, UnlockBuilder)
 {
     const Action a = Action::unlock(42);
-    EXPECT_EQ(a.kind, ActionKind::Unlock);
+    EXPECT_EQ(a.kind(), ActionKind::Unlock);
     EXPECT_EQ(a.target, 42u);
 }
 
 TEST(Action, TouchHeapBuilder)
 {
     const Action a = Action::touchHeap(1234, 512, 656, true);
-    EXPECT_EQ(a.kind, ActionKind::Touch);
-    EXPECT_EQ(a.touch, TouchKind::HeapModify);
+    EXPECT_EQ(a.kind(), ActionKind::Touch);
+    EXPECT_EQ(a.touch(), TouchKind::HeapModify);
     EXPECT_EQ(a.target, 1234u);
-    EXPECT_EQ(a.offset, 512u);
-    EXPECT_EQ(a.bytes, 656u);
-    EXPECT_FALSE(a.fresh);
+    EXPECT_EQ(a.offset(), 512u);
+    EXPECT_EQ(a.bytes(), 656u);
+    EXPECT_FALSE(a.fresh());
     const Action r = Action::touchHeap(1234, 0, 64, false);
-    EXPECT_EQ(r.touch, TouchKind::HeapRead);
+    EXPECT_EQ(r.touch(), TouchKind::HeapRead);
 }
 
 TEST(Action, TouchFreshSetsFlagAndModify)
 {
     const Action a = Action::touchFresh(99, 100, 200);
-    EXPECT_EQ(a.kind, ActionKind::Touch);
-    EXPECT_EQ(a.touch, TouchKind::HeapModify);
-    EXPECT_TRUE(a.fresh);
+    EXPECT_EQ(a.kind(), ActionKind::Touch);
+    EXPECT_EQ(a.touch(), TouchKind::HeapModify);
+    EXPECT_TRUE(a.fresh());
 }
 
 TEST(Action, TouchIndexBuilder)
 {
     const Action a = Action::touchIndex(55, 4032);
-    EXPECT_EQ(a.touch, TouchKind::IndexNode);
-    EXPECT_EQ(a.bytes, 256u);
-    EXPECT_EQ(a.offset, 4032u);
+    EXPECT_EQ(a.touch(), TouchKind::IndexNode);
+    EXPECT_EQ(a.bytes(), 256u);
+    EXPECT_EQ(a.offset(), 4032u);
 }
 
 TEST(Action, ComputeAndCommitBuilders)
 {
     const Action c = Action::compute(30000);
-    EXPECT_EQ(c.kind, ActionKind::Compute);
+    EXPECT_EQ(c.kind(), ActionKind::Compute);
     EXPECT_EQ(c.instr, 30000u);
     const Action k = Action::commit();
-    EXPECT_EQ(k.kind, ActionKind::Commit);
+    EXPECT_EQ(k.kind(), ActionKind::Commit);
 }
 
 TEST(TxnType, NamesAndCount)

@@ -36,7 +36,7 @@ countKind(const db::ActionTrace &t, ActionKind k)
 {
     unsigned n = 0;
     for (const auto &a : t.actions)
-        n += a.kind == k;
+        n += a.kind() == k;
     return n;
 }
 
@@ -48,7 +48,7 @@ TEST(TxnPlanner, EveryTraceEndsWithCommit)
         const auto t =
             rig.planner.plan(static_cast<TxnType>(i), rig.rng, 0);
         ASSERT_FALSE(t.actions.empty());
-        EXPECT_EQ(t.actions.back().kind, ActionKind::Commit);
+        EXPECT_EQ(t.actions.back().kind(), ActionKind::Commit);
         EXPECT_EQ(countKind(t, ActionKind::Commit), 1u);
     }
 }
@@ -90,7 +90,7 @@ TEST(TxnPlanner, PaymentLocksInGlobalOrder)
     const auto t = rig.planner.plan(TxnType::Payment, rig.rng, 1);
     std::vector<db::LockKey> locks;
     for (const auto &a : t.actions) {
-        if (a.kind == ActionKind::Lock)
+        if (a.kind() == ActionKind::Lock)
             locks.push_back(a.target);
     }
     ASSERT_EQ(locks.size(), 3u); // Warehouse, district, customer.
@@ -113,8 +113,8 @@ TEST(TxnPlanner, ReadOnlyTransactionsDoNotModify)
     for (const TxnType type : {TxnType::OrderStatus, TxnType::StockLevel}) {
         const auto t = rig.planner.plan(type, rig.rng, 0);
         for (const auto &a : t.actions) {
-            if (a.kind == ActionKind::Touch)
-                EXPECT_NE(a.touch, db::TouchKind::HeapModify)
+            if (a.kind() == ActionKind::Touch)
+                EXPECT_NE(a.touch(), db::TouchKind::HeapModify)
                     << toString(type);
         }
         EXPECT_EQ(countKind(t, ActionKind::Lock), 0u);
@@ -141,7 +141,7 @@ TEST(TxnPlanner, UndoWritesAreFreshTouches)
     const auto t = rig.planner.plan(TxnType::Payment, rig.rng, 0);
     unsigned fresh = 0;
     for (const auto &a : t.actions)
-        fresh += a.kind == ActionKind::Touch && a.fresh;
+        fresh += a.kind() == ActionKind::Touch && a.fresh();
     EXPECT_GE(fresh, 3u); // Three undo records + history insert.
 }
 
@@ -151,10 +151,10 @@ TEST(TxnPlanner, TouchOffsetsStayInBlock)
     for (int i = 0; i < 20; ++i) {
         const auto t = rig.planner.planRandom(rig.rng, 1);
         for (const auto &a : t.actions) {
-            if (a.kind != ActionKind::Touch)
+            if (a.kind() != ActionKind::Touch)
                 continue;
-            EXPECT_LT(a.offset, db::blockBytes);
-            EXPECT_LE(static_cast<std::uint32_t>(a.offset) + a.bytes,
+            EXPECT_LT(a.offset(), db::blockBytes);
+            EXPECT_LE(static_cast<std::uint32_t>(a.offset()) + a.bytes(),
                       db::blockBytes + 512);
             EXPECT_LT(a.target, rig.db.schema().totalBlocks());
         }
@@ -199,7 +199,7 @@ TEST(TxnPlanner, UserInstructionsPerTxnInPaperBand)
     for (int i = 0; i < n; ++i) {
         const auto t = rig.planner.planRandom(rig.rng, 0);
         for (const auto &a : t.actions) {
-            if (a.kind == ActionKind::Compute)
+            if (a.kind() == ActionKind::Compute)
                 instr += a.instr;
         }
     }

@@ -51,14 +51,14 @@ TEST_P(PlannerFuzz, TracesSatisfyReplayInvariants)
 
         ASSERT_FALSE(t.actions.empty());
         // Exactly one commit, and it is last.
-        EXPECT_EQ(t.actions.back().kind, ActionKind::Commit);
+        EXPECT_EQ(t.actions.back().kind(), ActionKind::Commit);
 
         std::map<db::LockKey, int> held;
         db::LockKey last_lock = 0;
         bool saw_unlock = false;
         for (std::size_t a = 0; a < t.actions.size(); ++a) {
             const Action &act = t.actions[a];
-            switch (act.kind) {
+            switch (act.kind()) {
               case ActionKind::Lock:
                 // Locks are acquired in nondecreasing global order
                 // (the deadlock-freedom invariant) until the first
@@ -76,8 +76,8 @@ TEST_P(PlannerFuzz, TracesSatisfyReplayInvariants)
                 break;
               case ActionKind::Touch:
                 EXPECT_LT(act.target, db_->schema().totalBlocks());
-                EXPECT_LT(act.offset, db::blockBytes);
-                EXPECT_GT(act.bytes, 0u);
+                EXPECT_LT(act.offset(), db::blockBytes);
+                EXPECT_GT(act.bytes(), 0u);
                 break;
               case ActionKind::Compute:
                 EXPECT_LE(act.instr, 1000000u);

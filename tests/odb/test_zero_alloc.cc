@@ -1,0 +1,192 @@
+/**
+ * @file
+ * Steady-state allocation tests for the database replay hot path: once
+ * planning and replay reach their high-water working set, the flat
+ * resident-block index, the lock table + pooled waiter queues, the
+ * schema row-state maps and the recycled per-process ActionTrace must
+ * never touch the heap again. Enforced two ways: through the
+ * structures' own growth counters (mapAllocations(),
+ * tableAllocations(), stateAllocations()), and — in non-sanitizer
+ * builds — through a replaced global operator new that counts every
+ * heap allocation across a steady-state planning loop.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <new>
+
+#include "../support/mini_odb.hh"
+#include "db/trace.hh"
+#include "odb/planner.hh"
+#include "sim/rng.hh"
+
+// ASan ships its own operator new/delete interceptors; replacing them
+// here would degrade its mismatch checking, so the strict global
+// counter is compiled out and the strict test passes vacuously (the
+// counter-based tests still run).
+#if defined(__SANITIZE_ADDRESS__)
+#define ODBSIM_TEST_COUNT_GLOBAL_NEW 0
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define ODBSIM_TEST_COUNT_GLOBAL_NEW 0
+#else
+#define ODBSIM_TEST_COUNT_GLOBAL_NEW 1
+#endif
+#else
+#define ODBSIM_TEST_COUNT_GLOBAL_NEW 1
+#endif
+
+namespace
+{
+std::atomic<std::uint64_t> g_newCalls{0};
+} // namespace
+
+#if ODBSIM_TEST_COUNT_GLOBAL_NEW
+void *
+operator new(std::size_t n)
+{
+    g_newCalls.fetch_add(1, std::memory_order_relaxed);
+    if (void *p = std::malloc(n ? n : 1))
+        return p;
+    throw std::bad_alloc();
+}
+
+void *
+operator new[](std::size_t n)
+{
+    g_newCalls.fetch_add(1, std::memory_order_relaxed);
+    if (void *p = std::malloc(n ? n : 1))
+        return p;
+    throw std::bad_alloc();
+}
+
+void
+operator delete(void *p) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete(void *p, std::size_t) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void *p) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void *p, std::size_t) noexcept
+{
+    std::free(p);
+}
+#endif // ODBSIM_TEST_COUNT_GLOBAL_NEW
+
+namespace
+{
+
+using namespace odbsim;
+
+TEST(ZeroAlloc, ActionIsPackedTo16Bytes)
+{
+    static_assert(sizeof(db::Action) == 16,
+                  "replay actions must stay packed");
+    EXPECT_EQ(sizeof(db::Action), 16u);
+}
+
+/**
+ * Steady-state planning into a recycled trace is strictly
+ * allocation-free: after a warm-up that reaches the schema maps' and
+ * the trace buffer's high-water marks, thousands of further plans of
+ * every transaction type perform zero heap allocations (and zero
+ * growth events in the schema's flat row-state maps).
+ */
+TEST(ZeroAlloc, PlannerSteadyStateIsAllocationFree)
+{
+    test::MiniOdb rig(1, 2, 1);
+    odb::TxnPlanner planner(rig.db, odb::TxnMix{});
+    Rng rng(2003);
+    db::ActionTrace trace;
+
+    // Warm-up: populate the lazily-inserted schema row states (stock
+    // quantities, customer balances) and grow the trace buffer to the
+    // longest transaction's length. The row-state key domains are
+    // bounded (every customer, every stock row), so planning until a
+    // full round allocates nothing proves the maps reached their
+    // lifetime capacity — not just a lull between rehashes.
+    int rounds = 0;
+    std::uint64_t schemaBefore, newBefore;
+    do {
+        schemaBefore = rig.db.schema().stateAllocations();
+        newBefore = g_newCalls.load(std::memory_order_relaxed);
+        for (int i = 0; i < 4000; ++i)
+            planner.planRandom(rng, static_cast<std::uint32_t>(i % 2),
+                               trace);
+        ASSERT_LT(++rounds, 64)
+            << "schema row-state maps never reached steady state";
+    } while (rig.db.schema().stateAllocations() != schemaBefore ||
+             g_newCalls.load(std::memory_order_relaxed) != newBefore);
+
+    const std::uint64_t schemaAllocs = rig.db.schema().stateAllocations();
+    const std::size_t traceCap = trace.actions.capacity();
+    const std::uint64_t newCalls =
+        g_newCalls.load(std::memory_order_relaxed);
+
+    for (int i = 0; i < 4000; ++i)
+        planner.planRandom(rng, static_cast<std::uint32_t>(i % 2),
+                           trace);
+
+    EXPECT_EQ(g_newCalls.load(std::memory_order_relaxed), newCalls)
+        << "steady-state planning touched the heap";
+    EXPECT_EQ(rig.db.schema().stateAllocations(), schemaAllocs);
+    EXPECT_EQ(trace.actions.capacity(), traceCap);
+    EXPECT_FALSE(trace.actions.empty());
+}
+
+/**
+ * Steady-state replay through the full engine: after a warm-up
+ * window, continued execution (buffer-cache misses and evictions,
+ * lock contention with hand-offs, schema updates) must not advance
+ * any of the hot-path structures' growth counters.
+ */
+TEST(ZeroAlloc, ReplaySteadyStateCountersStayFlat)
+{
+    test::MiniOdb rig(2, 2, 8);
+    rig.sys.runFor(200 * tickPerMs);
+
+    const std::uint64_t bufAllocs = rig.db.bufferCache().mapAllocations();
+    const std::uint64_t lockAllocs = rig.db.locks().tableAllocations();
+    const std::uint64_t schemaAllocs =
+        rig.db.schema().stateAllocations();
+    const std::uint64_t before = rig.workload.committed();
+
+    rig.sys.runFor(300 * tickPerMs);
+
+    EXPECT_GT(rig.workload.committed(), before); // Work really ran.
+    EXPECT_EQ(rig.db.bufferCache().mapAllocations(), bufAllocs);
+    EXPECT_EQ(rig.db.locks().tableAllocations(), lockAllocs);
+    EXPECT_EQ(rig.db.schema().stateAllocations(), schemaAllocs);
+}
+
+/**
+ * The buffer-cache index can never grow after construction, even from
+ * a cold cache: residency is bounded by the frame count the map was
+ * reserved for.
+ */
+TEST(ZeroAlloc, BufferCacheIndexReservedForFrameCount)
+{
+    test::MiniOdb rig(1, 2, 1);
+    // instantWarm() filled the cache; the index must already be at its
+    // lifetime allocation count with every frame occupied.
+    const std::uint64_t allocs = rig.db.bufferCache().mapAllocations();
+    rig.sys.runFor(100 * tickPerMs);
+    EXPECT_EQ(rig.db.bufferCache().mapAllocations(), allocs);
+}
+
+} // namespace

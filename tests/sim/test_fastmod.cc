@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Tests for the exact 128-bit-reciprocal fastmod: bit-identical to the
+ * hardware `%` for every divisor/operand pairing we throw at it,
+ * including the buffer cache's metaAddr fold (golden-ratio-hashed
+ * block ids onto a frame count) across the realistic frame-count
+ * range and the studied configuration's 358,400 frames.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+
+#include "sim/fastmod.hh"
+#include "sim/rng.hh"
+
+namespace
+{
+
+using namespace odbsim;
+using sim::FastMod64;
+
+const std::uint64_t kInteresting[] = {
+    0,
+    1,
+    2,
+    3,
+    7,
+    63,
+    64,
+    65,
+    1023,
+    1024,
+    358'399,
+    358'400,
+    358'401,
+    (1ull << 32) - 1,
+    1ull << 32,
+    (1ull << 32) + 1,
+    0x9e3779b97f4a7c15ULL,
+    (1ull << 63) - 1,
+    1ull << 63,
+    std::numeric_limits<std::uint64_t>::max() - 1,
+    std::numeric_limits<std::uint64_t>::max(),
+};
+
+TEST(FastMod64, MatchesHardwareModOnEdgeDivisors)
+{
+    for (const std::uint64_t d : kInteresting) {
+        if (d == 0)
+            continue;
+        const FastMod64 fm(d);
+        EXPECT_EQ(fm.divisor(), d);
+        for (const std::uint64_t n : kInteresting)
+            EXPECT_EQ(fm.mod(n), n % d) << "n=" << n << " d=" << d;
+    }
+}
+
+TEST(FastMod64, MatchesHardwareModOnRandomPairs)
+{
+    Rng rng(0xfa57);
+    for (int i = 0; i < 200'000; ++i) {
+        // Mix full-width and small operands/divisors.
+        std::uint64_t n = rng.next();
+        std::uint64_t d = rng.next();
+        if (i % 3 == 0)
+            d = 1 + rng.below(1u << 20);
+        if (i % 5 == 0)
+            n = rng.below(1u << 16);
+        if (d == 0)
+            d = 1;
+        const FastMod64 fm(d);
+        ASSERT_EQ(fm.mod(n), n % d) << "n=" << n << " d=" << d;
+    }
+}
+
+/**
+ * The exact fold BufferCache::metaAddr performs: golden-ratio-hashed
+ * block ids (which occupy the full 64-bit range) reduced by the frame
+ * count, swept over realistic cache sizes including the studied
+ * 2.8 GB configuration's 358,400 frames.
+ */
+TEST(FastMod64, MetaAddrFoldAcrossFrameCounts)
+{
+    const std::uint64_t frameCounts[] = {8,    9,     100,     1024,
+                                         4096, 16384, 100'000, 358'400};
+    Rng rng(0x0b10c);
+    for (const std::uint64_t frames : frameCounts) {
+        const FastMod64 fm(frames);
+        for (std::uint64_t b = 0; b < 4096; ++b) {
+            const std::uint64_t h = b * 0x9e3779b97f4a7c15ULL;
+            ASSERT_EQ(fm.mod(h), h % frames)
+                << "b=" << b << " frames=" << frames;
+        }
+        for (int i = 0; i < 4096; ++i) {
+            const std::uint64_t h = rng.next() * 0x9e3779b97f4a7c15ULL;
+            ASSERT_EQ(fm.mod(h), h % frames) << "frames=" << frames;
+        }
+    }
+}
+
+TEST(FastMod64, ResetChangesDivisor)
+{
+    FastMod64 fm(10);
+    EXPECT_EQ(fm.mod(123), 3u);
+    fm.reset(7);
+    EXPECT_EQ(fm.divisor(), 7u);
+    EXPECT_EQ(fm.mod(123), 123u % 7u);
+}
+
+TEST(FastMod64, DefaultIsDivideByOne)
+{
+    const FastMod64 fm;
+    EXPECT_EQ(fm.divisor(), 1u);
+    EXPECT_EQ(fm.mod(0xdeadbeefULL), 0u);
+    EXPECT_EQ(fm.mod(std::numeric_limits<std::uint64_t>::max()), 0u);
+}
+
+} // namespace
