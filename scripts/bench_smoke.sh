@@ -27,7 +27,7 @@ perf_gate="${ODBSIM_PERF_GATE:-strict}"
 echo "== configure + build (Release) =="
 cmake -B "$build_dir" -S "$repo_root" -DCMAKE_BUILD_TYPE=Release
 cmake --build "$build_dir" -j "$(nproc)" --target \
-    bench_hotpath bench_fig09_cpi bench_fig19_itanium2
+    bench_hotpath bench_fig09_cpi bench_fig19_itanium2 bench_islands
 
 echo "== hot-path baseline (1.5x queue gate, 1.3x directory gate) =="
 out_json="$build_dir/BENCH_hotpath.json"
@@ -49,6 +49,20 @@ status=0
 check_goldens() {
     local cache_dir="$1" label="$2"
     for golden in odbsim_study_xeon-quad-mp.csv odbsim_study_itanium2-quad.csv; do
+        if [ ! -f "$repo_root/$golden" ]; then
+            # The goldens are generated artifacts (gitignored): a fresh
+            # checkout seeds them from the first serial regeneration;
+            # every later regeneration — including the parallel one in
+            # this very run — is diffed against that seed.
+            if [ "$label" = "serial" ]; then
+                cp "$cache_dir/$golden" "$repo_root/$golden"
+                echo "SEED $golden was absent; seeded from the serial regeneration"
+            else
+                echo "FAIL $golden absent and not seedable from the $label run" >&2
+                status=1
+            fi
+            continue
+        fi
         if diff -q "$repo_root/$golden" "$cache_dir/$golden" > /dev/null; then
             echo "OK  $golden is bit-identical ($label)"
         else
@@ -70,6 +84,20 @@ echo "== regenerate study CSVs with a cold cache (--jobs 0, longest-first) =="
 ODBSIM_CACHE_DIR="$cache_parallel" "$build_dir/bench/bench_fig09_cpi" -j 0 > /dev/null
 ODBSIM_CACHE_DIR="$cache_parallel" "$build_dir/bench/bench_fig19_itanium2" -j 0 > /dev/null
 check_goldens "$cache_parallel" "parallel"
+
+echo "== islands deployment sweep (serial vs --jobs 0 must be bit-identical) =="
+# The sweep self-checks its crossover physics (exit 3 on failure); the
+# serial and parallel CSVs are then diffed for the determinism
+# contract. The islands CSV is derived output, not a committed golden.
+ODBSIM_CACHE_DIR="$cache_serial" "$build_dir/bench/bench_islands" > /dev/null
+ODBSIM_CACHE_DIR="$cache_parallel" "$build_dir/bench/bench_islands" -j 0 > /dev/null
+if diff -q "$cache_serial/odbsim_islands_xeon-quad-mp.csv" \
+        "$cache_parallel/odbsim_islands_xeon-quad-mp.csv" > /dev/null; then
+    echo "OK  odbsim_islands_xeon-quad-mp.csv is bit-identical (serial vs parallel)"
+else
+    echo "FAIL odbsim_islands_xeon-quad-mp.csv differs between serial and parallel runs" >&2
+    status=1
+fi
 
 if [ "$status" -eq 0 ]; then
     echo "bench_smoke: PASS ($out_json)"

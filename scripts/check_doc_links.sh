@@ -1,0 +1,55 @@
+#!/usr/bin/env bash
+# Dead-link check for the repo's markdown documentation.
+#
+# Extracts every inline markdown link [text](target) from README.md,
+# EXPERIMENTS.md and docs/*.md, and fails if a *relative* target does
+# not exist on disk (resolved against the linking file's directory,
+# fragments and optional titles stripped). External links (http/https/
+# mailto) and pure in-page fragments (#...) are not validated — the
+# check is about keeping the docs' cross-references alive as files
+# move, not about the network.
+#
+# Usage: scripts/check_doc_links.sh   (exit 0 = all links resolve)
+
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+status=0
+checked=0
+
+check_file() {
+    local md="$1"
+    local dir
+    dir="$(dirname "$md")"
+    # One link target per line; tolerate several links on one line.
+    local targets
+    targets="$(grep -oE '\[[^]]*\]\([^)]+\)' "$md" |
+        sed -E 's/^\[[^]]*\]\(([^)]+)\)$/\1/' || true)"
+    while IFS= read -r link; do
+        [ -z "$link" ] && continue
+        case "$link" in
+          http://*|https://*|mailto:*|'#'*) continue ;;
+        esac
+        # Strip an optional quoted title and any #fragment.
+        local target="${link%% \"*}"
+        target="${target%%#*}"
+        [ -z "$target" ] && continue
+        checked=$((checked + 1))
+        if [ ! -e "$dir/$target" ]; then
+            echo "FAIL dead link in ${md#"$repo_root"/}: $link" >&2
+            status=1
+        fi
+    done <<< "$targets"
+}
+
+for md in "$repo_root/README.md" "$repo_root/EXPERIMENTS.md" \
+    "$repo_root"/docs/*.md; do
+    [ -f "$md" ] && check_file "$md"
+done
+
+if [ "$status" -eq 0 ]; then
+    echo "check_doc_links: PASS ($checked relative links resolve)"
+else
+    echo "check_doc_links: FAIL — fix the dead links above" >&2
+fi
+exit "$status"

@@ -15,15 +15,18 @@ namespace odbsim::core
 RunResult
 ExperimentRunner::run(const OltpConfiguration &cfg, const RunKnobs &knobs)
 {
-    const MachinePreset preset = makeMachine(
+    MachinePreset preset = makeMachine(
         cfg.machine, cfg.processors, knobs.samplePeriod, knobs.seed);
-    return runWithPreset(preset, cfg.warehouses, cfg.clients, knobs);
+    preset.sys.topology = cfg.topology;
+    return runWithPreset(preset, cfg.warehouses, cfg.clients, knobs,
+                         cfg.placement);
 }
 
 RunResult
 ExperimentRunner::runWithPreset(const MachinePreset &preset,
                                 unsigned warehouses, unsigned cfg_clients,
-                                const RunKnobs &knobs)
+                                const RunKnobs &knobs,
+                                const os::PlacementConfig &placement)
 {
     const auto wall_start = std::chrono::steady_clock::now();
 
@@ -42,6 +45,7 @@ ExperimentRunner::runWithPreset(const MachinePreset &preset,
     odb::WorkloadConfig wcfg;
     wcfg.clients = clients;
     wcfg.seed = knobs.seed * 7919 + warehouses;
+    wcfg.placement = placement;
     odb::OdbWorkload workload(database, wcfg);
     workload.start();
 
@@ -130,6 +134,8 @@ ExperimentRunner::runWithPreset(const MachinePreset &preset,
 
     r.busUtil = r.counters.busUtilization;
     r.ioqCycles = r.counters.ioqCycles;
+    r.remoteMissShare = sys.memsys().remoteMissShare();
+    r.linkUtil = sys.memsys().linkUtilizationMean();
     r.coherenceShareOfL3 =
         c.l3Misses.total() > 0.0
             ? c.coherenceMisses.total() / c.l3Misses.total()

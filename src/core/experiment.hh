@@ -21,6 +21,8 @@
 
 #include "core/machine.hh"
 #include "core/metrics.hh"
+#include "mem/topology.hh"
+#include "os/placement.hh"
 #include "sim/types.hh"
 
 namespace odbsim::core
@@ -37,6 +39,13 @@ struct OltpConfiguration
     unsigned clients = 0;
     /** Machine preset to measure on. */
     MachineKind machine = MachineKind::XeonQuadMp;
+    /**
+     * Socket topology overriding the preset's (default: one socket,
+     * the paper's machines; see docs/TOPOLOGY.md).
+     */
+    mem::TopologyConfig topology;
+    /** Server-process placement on that topology (default: legacy). */
+    os::PlacementConfig placement;
 };
 
 /**
@@ -93,17 +102,22 @@ class ExperimentRunner
      * @brief Measure a configuration on a hand-built machine
      * (ablations: custom cache sizes, disk counts, bus parameters).
      *
-     * @param preset     Machine description (CPUs, caches, disks, bus).
+     * @param preset     Machine description (CPUs, caches, disks, bus,
+     *                    topology).
      * @param warehouses Workload scale in warehouses.
      * @param clients    Concurrent clients; 0 selects the paper's
      *                   Table 1 value.
      * @param knobs      Simulation control (windows in Ticks, seed,
      *                   sampling).
+     * @param placement  Server placement on the preset's topology
+     *                   (default: legacy unpinned behaviour).
      * @return All RunResult metrics over the measurement window.
      */
     static RunResult runWithPreset(const MachinePreset &preset,
                                    unsigned warehouses, unsigned clients,
-                                   const RunKnobs &knobs = {});
+                                   const RunKnobs &knobs = {},
+                                   const os::PlacementConfig &placement =
+                                       {});
 };
 
 } // namespace odbsim::core

@@ -69,6 +69,17 @@ struct RunResult
     double coherenceShareOfL3 = 0.0;
     /** @} */
 
+    /**
+     * @name Socket topology (multi-socket runs only; both exactly
+     * zero at S=1 and excluded from the golden study CSVs)
+     * @{
+     */
+    /** Share of L3 misses serviced by a remote socket. */
+    double remoteMissShare = 0.0;
+    /** Mean inter-socket interconnect utilization. */
+    double linkUtil = 0.0;
+    /** @} */
+
     /** CPI decomposition (Figure 12 / Tables 3-4). */
     analysis::CpiComponents breakdown;
 

@@ -73,7 +73,11 @@ CpuCore::stallCyclesFor(const mem::AccessResult &res, bool is_code) const
         break;
       case mem::ServicedBy::Memory:
       case mem::ServicedBy::RemoteCache:
-        cycles += c.l3MissCycles + memsys_.bus().queueWaitCycles();
+        // The memory system reports the load- and topology-dependent
+        // part (bus queueing, plus interconnect hops on multi-socket
+        // machines); at S=1 it is exactly the front-side bus
+        // queueWaitCycles() this code used to read itself.
+        cycles += c.l3MissCycles + res.memStallExtraCycles;
         break;
     }
     return cycles;

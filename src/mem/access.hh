@@ -52,8 +52,19 @@ enum class ServicedBy : std::uint8_t
 /** Outcome of a single simulated reference. */
 struct AccessResult
 {
+    /** Deepest level that serviced the reference. */
     ServicedBy servicedBy = ServicedBy::L2;
+    /**
+     * Extra stall cycles beyond the fixed Table 3 costs, valid when
+     * l3Miss(): the bus queueing delay of the servicing socket, plus —
+     * on a multi-socket topology — the interconnect hop latency and
+     * link queueing of a remote access. On a single-socket machine
+     * this is exactly the front-side bus queueWaitCycles() the CPU
+     * model historically read itself.
+     */
+    double memStallExtraCycles = 0.0;
 
+    /** True when the reference left the requesting CPU's caches. */
     bool l3Miss() const
     {
         return servicedBy == ServicedBy::Memory ||

@@ -57,6 +57,7 @@ struct BusConfig
 class FrontSideBus
 {
   public:
+    /** @param cfg M/G/1 service parameters and window length. */
     explicit FrontSideBus(const BusConfig &cfg);
 
     /** Record @p n cache-line transactions (L3 misses/writebacks). */
@@ -89,12 +90,16 @@ class FrontSideBus
     double queueWaitCycles() const { return wait_; }
 
     /** Time-weighted statistics over the measurement period. @{ */
+    /** Utilization samples, one per elapsed window. */
     const RunningStat &utilizationStat() const { return utilStat_; }
+    /** IOQ residency samples, one per elapsed window. */
     const RunningStat &ioqStat() const { return ioqStat_; }
     /** @} */
 
+    /** Clear the statistics (model state and clock are kept). */
     void resetStats();
 
+    /** Parameters given at construction. */
     const BusConfig &config() const { return cfg_; }
 
   private:

@@ -24,17 +24,23 @@ namespace odbsim::mem
 /** Static shape of a cache. */
 struct CacheGeometry
 {
+    /** Total capacity in bytes. */
     std::uint64_t sizeBytes = 0;
+    /** Ways per set. */
     std::uint32_t assoc = 0;
+    /** Line size in bytes. */
     std::uint32_t lineBytes = 64;
 
+    /** Total line count (capacity / line size). */
     std::uint64_t numLines() const { return sizeBytes / lineBytes; }
+    /** Set count (lines / associativity). */
     std::uint64_t numSets() const { return numLines() / assoc; }
 };
 
 /** Result of a cache access. */
 struct CacheAccessResult
 {
+    /** The line was resident (no fill needed). */
     bool hit = false;
     /** A valid line was evicted to make room. */
     bool evicted = false;
@@ -50,9 +56,16 @@ struct CacheAccessResult
 class SetAssocCache
 {
   public:
+    /**
+     * @param name Label used in statistics reporting.
+     * @param geom Capacity/associativity/line-size shape; sizeBytes
+     *        and assoc must be non-zero and consistent.
+     */
     SetAssocCache(std::string name, const CacheGeometry &geom);
 
+    /** Label given at construction. */
     const std::string &name() const { return name_; }
+    /** Shape given at construction. */
     const CacheGeometry &geometry() const { return geom_; }
 
     /**
@@ -82,9 +95,13 @@ class SetAssocCache
     std::uint64_t validLines() const { return valid_; }
 
     /** @name Raw statistics @{ */
+    /** Total access() calls since the last resetStats(). */
     std::uint64_t accesses() const { return accesses_; }
+    /** Accesses that missed and allocated. */
     std::uint64_t misses() const { return misses_; }
+    /** Dirty evictions (writebacks to the next level). */
     std::uint64_t writebacks() const { return writebacks_; }
+    /** misses / accesses, 0 when idle. */
     double
     missRatio() const
     {
@@ -92,6 +109,7 @@ class SetAssocCache
                                static_cast<double>(accesses_)
                          : 0.0;
     }
+    /** Zero every counter above (cache state is kept). */
     void resetStats();
     /** @} */
 

@@ -60,6 +60,7 @@ struct SnoopState
 class CoherenceDirectory
 {
   public:
+    /** @param num_cpus Width of the sharer masks (<= 32 CPUs). */
     explicit CoherenceDirectory(unsigned num_cpus);
 
     /**
@@ -123,8 +124,11 @@ class CoherenceDirectory
     /** @} */
 
     /** @name Raw statistics @{ */
+    /** Fills classified as dirty-in-a-remote-cache (onFill). */
     std::uint64_t coherenceMisses() const { return coherenceMisses_; }
+    /** Total sharer invalidations requested by write fills. */
     std::uint64_t invalidationsSent() const { return invalidations_; }
+    /** Zero both counters (directory state is kept). */
     void
     resetStats()
     {

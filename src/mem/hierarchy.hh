@@ -1,7 +1,8 @@
 /**
  * @file
  * Per-CPU cache hierarchy (L2 + L3 tag stores) and the system-wide
- * MemorySystem facade that adds bus and coherence behaviour.
+ * MemorySystem facade that adds bus, coherence and — on multi-socket
+ * topologies — interconnect behaviour.
  *
  * The simulated reference stream is *set-sampled*: the CPU model feeds
  * only cache lines whose global line index is a multiple of the
@@ -11,6 +12,14 @@
  * levels (trace cache, L1D, TLB) contribute flat per-instruction
  * costs in the paper's own methodology and are modeled statistically
  * in the CPU core instead.
+ *
+ * With TopologyConfig::sockets > 1 the machine becomes a set of
+ * hardware islands: each socket owns a front-side bus and a coherence
+ * directory for the lines whose *home* is that socket, and misses that
+ * leave their socket additionally traverse the bounded-bandwidth
+ * interconnect (see docs/TOPOLOGY.md). With the default single socket
+ * every topology path is bypassed and behaviour is bit-identical to
+ * the legacy single-bus model.
  */
 
 #ifndef ODBSIM_MEM_HIERARCHY_HH
@@ -24,6 +33,8 @@
 #include "mem/bus.hh"
 #include "mem/cache.hh"
 #include "mem/coherence.hh"
+#include "mem/topology.hh"
+#include "sim/flat_map.hh"
 #include "sim/types.hh"
 
 namespace odbsim::mem
@@ -39,8 +50,8 @@ struct HierarchyConfig
     std::uint32_t tlbEntries = 64;
     std::uint32_t tlbAssoc = 4;
     /** @} */
-    CacheGeometry l2{256 * KiB, 8, 64};
-    CacheGeometry l3{1 * MiB, 8, 64};
+    CacheGeometry l2{256 * KiB, 8, 64};  ///< Per-CPU L2 geometry.
+    CacheGeometry l3{1 * MiB, 8, 64};    ///< L3 geometry (per CPU or shared).
     /**
      * Chip-multiprocessor mode: one on-die L3 shared by every core
      * instead of per-CPU L3s. L2 misses that hit the shared L3 stay
@@ -65,10 +76,13 @@ struct MemCounters
     std::uint64_t l3Misses = 0;    ///< Misses in L3.
     std::uint64_t coherenceMisses = 0; ///< Subset of l3Misses (HITM).
 
+    /** Zero every counter. */
     void reset() { *this = MemCounters{}; }
 
+    /** Accumulate another counter block into this one. */
     MemCounters &operator+=(const MemCounters &o);
 
+    /** Total references reaching the L2 (code + reads + writes). */
     std::uint64_t
     l2Accesses() const
     {
@@ -82,6 +96,7 @@ struct MemCounters
 class CpuCacheHierarchy
 {
   public:
+    /** Build the scaled L2/L3 tag stores for CPU @p cpu_id. */
     CpuCacheHierarchy(unsigned cpu_id, const CacheGeometry &l2,
                       const CacheGeometry &l3,
                       std::uint32_t sample_factor);
@@ -116,8 +131,10 @@ class CpuCacheHierarchy
         return (caddr >> lineShift_) << compressShift_;
     }
 
+    /** This hierarchy's (physical) CPU id. */
     unsigned cpuId() const { return cpuId_; }
 
+    /** Counters for privilege mode @p m. @{ */
     const MemCounters &counters(ExecMode m) const
     {
         return counters_[static_cast<unsigned>(m)];
@@ -127,9 +144,12 @@ class CpuCacheHierarchy
     {
         return counters_[static_cast<unsigned>(m)];
     }
+    /** @} */
 
+    /** User + OS counters summed. */
     MemCounters totalCounters() const;
 
+    /** Zero the counters and the tag-store statistics. */
     void resetCounters();
 
     /** Invalidate one line in both levels. */
@@ -138,8 +158,10 @@ class CpuCacheHierarchy
     /** Drop all cached state. */
     void flush();
 
+    /** The scaled tag stores (read-only). @{ */
     const SetAssocCache &l2() const { return l2_; }
     const SetAssocCache &l3() const { return l3_; }
+    /** @} */
 
   private:
     friend class MemorySystem;
@@ -156,8 +178,9 @@ class CpuCacheHierarchy
 };
 
 /**
- * The full memory system: per-CPU hierarchies, the shared front-side
- * bus and the coherence directory.
+ * The full memory system: per-CPU hierarchies, one front-side bus and
+ * coherence directory per socket, and (for multi-socket topologies)
+ * the inter-socket interconnect and first-touch home map.
  */
 class MemorySystem
 {
@@ -201,22 +224,98 @@ class MemorySystem
      * @param sample_factor Set-sampling factor S: tag stores are
      *        built at 1/S capacity and callers must feed only lines
      *        whose index is a multiple of S, weighting counters by S.
+     * @param topo Socket topology; the default single socket keeps
+     *        the legacy single-bus model bit-identically.
      */
     MemorySystem(unsigned num_cpus, const HierarchyConfig &hier_cfg,
-                 const BusConfig &bus_cfg, std::uint32_t sample_factor);
+                 const BusConfig &bus_cfg, std::uint32_t sample_factor,
+                 const TopologyConfig &topo = {});
 
+    /** Number of physical CPUs. */
     unsigned numCpus() const { return static_cast<unsigned>(cpus_.size()); }
+    /** Set-sampling factor S the tag stores were scaled by. */
     std::uint32_t sampleFactor() const { return sampleFactor_; }
+    /** True in CMP mode (one on-die L3 shared by every core). */
     bool sharedL3() const { return sharedL3_ != nullptr; }
 
+    /** Cache hierarchy of CPU @p i. @{ */
     CpuCacheHierarchy &cpu(unsigned i) { return *cpus_[i]; }
     const CpuCacheHierarchy &cpu(unsigned i) const { return *cpus_[i]; }
+    /** @} */
 
+    /** Socket 0's front-side bus (the only bus when sockets == 1). @{ */
     FrontSideBus &bus() { return bus_; }
     const FrontSideBus &bus() const { return bus_; }
+    /** @} */
 
+    /** Socket 0's coherence directory (the only one at S=1). @{ */
     CoherenceDirectory &directory() { return directory_; }
     const CoherenceDirectory &directory() const { return directory_; }
+    /** @} */
+
+    /** @name Socket topology @{ */
+    /** The configured topology. */
+    const TopologyConfig &topology() const { return topo_; }
+    /** Socket count S (>= 1). */
+    unsigned numSockets() const { return sockets_; }
+    /** True when the multi-socket model is engaged (S > 1). */
+    bool multiSocket() const { return multiSocket_; }
+    /** Socket owning physical CPU @p cpu (always 0 at S=1). */
+    unsigned
+    socketOf(unsigned cpu) const
+    {
+        return multiSocket_ ? cpu / cpusPerSocket_ : 0;
+    }
+    /** Front-side bus of socket @p s. @{ */
+    FrontSideBus &busAt(unsigned s) { return *buses_[s]; }
+    const FrontSideBus &busAt(unsigned s) const { return *buses_[s]; }
+    /** @} */
+    /** Coherence directory of socket @p s. */
+    CoherenceDirectory &directoryAt(unsigned s) { return *dirs_[s]; }
+    /** The inter-socket interconnect model (nullptr at S=1). */
+    const FrontSideBus *interconnect() const { return link_.get(); }
+    /**
+     * Home socket of @p addr: the recorded first-touch home when one
+     * exists, else page-interleaved across the sockets. Always 0 at
+     * S=1.
+     */
+    unsigned
+    homeSocket(Addr addr) const
+    {
+        if (!multiSocket_)
+            return 0;
+        const Addr page = addr >> topo_.pageShift;
+        if (const std::uint8_t *h = homePages_.find(page))
+            return *h;
+        return static_cast<unsigned>(page % sockets_);
+    }
+    /**
+     * Record @p socket as the home of [base, base+bytes) — first-touch
+     * page homing (process private regions at first dispatch, buffer
+     * frames at fill time). No-op at S=1; later calls overwrite.
+     */
+    void setHomeRegion(Addr base, std::uint64_t bytes, unsigned socket);
+    /** @} */
+
+    /** @name Multi-socket statistics (all zero at S=1) @{ */
+    /** Weighted L3 misses serviced by a remote socket. */
+    std::uint64_t remoteMisses() const { return remoteMisses_; }
+    /** Share of L3 misses serviced by a remote socket, in [0, 1]. */
+    double
+    remoteMissShare() const
+    {
+        const std::uint64_t total = localMisses_ + remoteMisses_;
+        return total ? static_cast<double>(remoteMisses_) /
+                           static_cast<double>(total)
+                     : 0.0;
+    }
+    /** Mean interconnect utilization over the measurement period. */
+    double
+    linkUtilizationMean() const
+    {
+        return link_ ? link_->utilizationStat().mean() : 0.0;
+    }
+    /** @} */
 
     /**
      * Simulate one sampled post-L1 reference. @p addr must lie on a
@@ -231,13 +330,13 @@ class MemorySystem
 
     /**
      * Open an access batch for @p cpu_id in @p mode at time @p now:
-     * advances the bus model once and resolves the counter block, so
+     * advances the bus models once and resolves the counter block, so
      * AccessEpoch::access runs only per-reference work.
      */
     AccessEpoch
     beginEpoch(unsigned cpu_id, ExecMode mode, Tick now)
     {
-        bus_.maybeUpdate(now);
+        advanceBuses(now);
         CpuCacheHierarchy &h = *cpus_[cpu_id];
         return AccessEpoch(*this, h, h.counters(mode));
     }
@@ -245,9 +344,14 @@ class MemorySystem
     /**
      * A DMA engine filled @p bytes at @p base (disk read into memory):
      * stale cached copies are invalidated and the transfer is charged
-     * to the bus.
+     * to the home socket's bus. On a multi-socket topology a
+     * non-negative @p home_socket re-homes the region to that socket
+     * first (first-touch homing by the process that requested the
+     * read); DMA landing outside socket 0 (where I/O attaches) also
+     * crosses the interconnect.
      */
-    void dmaFill(Addr base, std::uint64_t bytes, Tick now);
+    void dmaFill(Addr base, std::uint64_t bytes, Tick now,
+                 int home_socket = -1);
 
     /** DMA read of memory (disk write from memory): bus traffic only. */
     void dmaDrain(std::uint64_t bytes, Tick now);
@@ -255,7 +359,7 @@ class MemorySystem
     /** Reset statistics on every component (cache state is kept). */
     void resetStats();
 
-    /** Drop all cached state and statistics. */
+    /** Drop all cached state and statistics (home map is kept). */
     void flushAll();
 
   private:
@@ -267,7 +371,35 @@ class MemorySystem
     AccessResult accessImpl(CpuCacheHierarchy &h, MemCounters &ctr,
                             Addr addr, AccessKind kind);
 
+    /** The L3-miss tail of accessImpl on a multi-socket topology. */
+    AccessResult missMultiSocket(CpuCacheHierarchy &h, MemCounters &ctr,
+                                 Addr line, bool is_write,
+                                 AccessResult res);
+
+    /**
+     * Directory owning @p line: the home socket's on a multi-socket
+     * topology, the single directory otherwise.
+     */
+    CoherenceDirectory &
+    dirFor(Addr line)
+    {
+        return multiSocket_ ? *dirs_[homeSocket(line)] : directory_;
+    }
+
+    /** Advance every bus model (and the interconnect) to @p now. */
+    void
+    advanceBuses(Tick now)
+    {
+        bus_.maybeUpdate(now);
+        if (multiSocket_) {
+            for (auto &b : extraBuses_)
+                b->maybeUpdate(now);
+            link_->maybeUpdate(now);
+        }
+    }
+
     HierarchyConfig hierCfg_;
+    TopologyConfig topo_;
     std::uint32_t sampleFactor_;
     /** @name Per-access invariants, computed once in the constructor.
      *  @{ */
@@ -275,12 +407,31 @@ class MemorySystem
     Addr lineMask_;          ///< ~(l3.lineBytes - 1)
     Addr sampledStride_;     ///< l3.lineBytes * sampleFactor_
     bool singleCpu_;         ///< P=1: directory fast path applies.
+    unsigned sockets_;       ///< Socket count S (>= 1).
+    unsigned cpusPerSocket_; ///< ceil(P / S).
+    bool multiSocket_;       ///< S > 1: topology paths engaged.
     /** @} */
     std::vector<std::unique_ptr<CpuCacheHierarchy>> cpus_;
     /** The on-die shared L3 (CMP mode only). */
     std::unique_ptr<SetAssocCache> sharedL3_;
     FrontSideBus bus_;
     CoherenceDirectory directory_;
+    /** Buses / directories of sockets 1..S-1 (empty at S=1). @{ */
+    std::vector<std::unique_ptr<FrontSideBus>> extraBuses_;
+    std::vector<std::unique_ptr<CoherenceDirectory>> extraDirs_;
+    /** @} */
+    /** Per-socket views: [0] = bus_/directory_, then the extras. @{ */
+    std::vector<FrontSideBus *> buses_;
+    std::vector<CoherenceDirectory *> dirs_;
+    /** @} */
+    /** The inter-socket interconnect (allocated only at S > 1). */
+    std::unique_ptr<FrontSideBus> link_;
+    /** First-touch page homes: page index -> socket. */
+    sim::FlatMap<Addr, std::uint8_t> homePages_;
+    /** Weighted L3 misses serviced locally / by a remote socket. @{ */
+    std::uint64_t localMisses_ = 0;
+    std::uint64_t remoteMisses_ = 0;
+    /** @} */
 };
 
 inline AccessResult

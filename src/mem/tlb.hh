@@ -47,10 +47,14 @@ class Tlb
         return store_.access(page * 8, false).hit;
     }
 
+    /** Drop every translation (e.g. between measurement runs). */
     void flush() { store_.flush(); }
 
+    /** Total translations attempted since the last resetStats(). */
     std::uint64_t accesses() const { return store_.accesses(); }
+    /** Translations that required a page walk. */
     std::uint64_t misses() const { return store_.misses(); }
+    /** Zero the counters (translations are kept). */
     void resetStats() { store_.resetStats(); }
 
   private:

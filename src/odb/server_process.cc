@@ -53,9 +53,24 @@ ServerProcess::next(os::System &sys)
         // warehouse, spanning the whole database as W scales — the
         // working-set growth at the heart of the study. Shared rows
         // (warehouse/district) collide at small W, producing the
-        // contention spike of Figure 8.
-        const std::uint32_t w = static_cast<std::uint32_t>(
-            rng_.below(db_.schema().warehouses()));
+        // contention spike of Figure 8. Island-partitioned servers
+        // (wSpan_ != 0) draw from their own warehouse range instead,
+        // except for the cross-island fraction.
+        std::uint32_t w;
+        if (wSpan_ == 0) {
+            w = static_cast<std::uint32_t>(
+                rng_.below(db_.schema().warehouses()));
+        } else if (crossFraction_ > 0.0 &&
+                   rng_.chance(crossFraction_)) {
+            w = static_cast<std::uint32_t>(
+                rng_.below(db_.schema().warehouses()));
+        } else {
+            w = wLo_ +
+                static_cast<std::uint32_t>(rng_.below(wSpan_));
+        }
+        // Distributed transaction: the draw escaped the partition, so
+        // commit will pay the multi-instance coordination cost.
+        crossTxn_ = wSpan_ != 0 && (w < wLo_ || w >= wLo_ + wSpan_);
         planner_.planRandom(rng_, w, trace_);
         pc_ = 0;
         txnActive_ = true;
@@ -259,9 +274,12 @@ ServerProcess::replayCommit(os::System &sys)
     }
 
     // Durable (or read-only): release locks, finish the transaction.
+    // Cross-partition transactions settle the distributed-coordination
+    // bill here (2PC messaging, duplicated log work).
     resume_ = Resume::None;
     db_.locks().releaseAll(this, heldLocks_, sys);
-    out.work = baseWork(3000);
+    out.work = baseWork(3000 + (crossTxn_ ? coordInstr_ : 0));
+    crossTxn_ = false;
     txnActive_ = false;
     workload_.recordCommit(trace_.type, sys.now() - txnStart_);
     out.after = os::NextAction::After::Continue;

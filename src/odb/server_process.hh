@@ -40,7 +40,28 @@ class ServerProcess : public os::Process
 
     os::NextAction next(os::System &sys) override;
 
+    /** The warehouse this server was seeded with. */
     std::uint32_t homeWarehouse() const { return homeW_; }
+
+    /**
+     * Restrict this server's warehouse draws to [@p w_lo, @p w_hi)
+     * with probability 1 - @p cross_fraction, drawing from the whole
+     * database otherwise (island deployments; see docs/TOPOLOGY.md).
+     * A transaction whose draw lands outside the partition charges
+     * @p coord_instr extra instructions at commit — the distributed
+     * coordination cost of a multi-instance deployment. Call before
+     * the first transaction. Unpartitioned servers keep the legacy
+     * single uniform draw bit-identically.
+     */
+    void
+    setPartition(std::uint32_t w_lo, std::uint32_t w_hi,
+                 double cross_fraction, std::uint64_t coord_instr)
+    {
+        wLo_ = w_lo;
+        wSpan_ = w_hi - w_lo;
+        crossFraction_ = cross_fraction;
+        coordInstr_ = coord_instr;
+    }
 
   private:
     /** Resume state within the current action. */
@@ -63,6 +84,14 @@ class ServerProcess : public os::Process
     OdbWorkload &workload_;
     TxnPlanner &planner_;
     std::uint32_t homeW_;
+    /** Partition draw range (wSpan_ == 0: unpartitioned legacy). @{ */
+    std::uint32_t wLo_ = 0;
+    std::uint32_t wSpan_ = 0;
+    double crossFraction_ = 0.0;
+    std::uint64_t coordInstr_ = 0;
+    /** True while replaying a txn outside the server's partition. */
+    bool crossTxn_ = false;
+    /** @} */
     Rng rng_;
 
     db::ActionTrace trace_;

@@ -1,5 +1,6 @@
 #include "odb/workload.hh"
 
+#include <algorithm>
 #include <memory>
 
 #include "odb/server_process.hh"
@@ -21,15 +22,68 @@ OdbWorkload::start()
     odbsim_assert(!started_, "workload already started");
     started_ = true;
     const unsigned w_cnt = db_.schema().warehouses();
+    os::System &sys = db_.sys();
+    const os::PlacementConfig &pl = cfg_.placement;
+    const unsigned sockets = sys.numSockets();
+
+    // Island deployment geometry: k sockets per island, warehouses
+    // split into equal contiguous ranges, one per island.
+    unsigned island_k = 1, num_islands = 1;
+    if (pl.policy == os::PlacementPolicy::Island) {
+        island_k = std::clamp(pl.islandSockets, 1u, sockets);
+        num_islands = sockets / island_k;
+        odbsim_assert(num_islands * island_k == sockets,
+                      "islandSockets must divide the socket count");
+    }
+
+    odbsim_assert(pl.policy != os::PlacementPolicy::Island ||
+                      w_cnt >= num_islands,
+                  "fewer warehouses than islands");
+
     homes_.clear();
     for (unsigned i = 0; i < cfg_.clients; ++i) {
         // The home warehouse only seeds the server; every transaction
         // picks its warehouse uniformly (see ServerProcess::next), so
-        // the working set spans the whole database as W scales.
-        const std::uint32_t home = i % w_cnt;
+        // the working set spans the whole database as W scales. Under
+        // Island placement clients round-robin over the islands (so
+        // the islands stay load-balanced for any client count), the
+        // home moves inside the island's partition, and draws favour
+        // that range instead.
+        std::uint32_t home = i % w_cnt;
+        std::uint32_t w_lo = 0, w_hi = 0;
+        unsigned island = 0;
+        if (pl.policy == os::PlacementPolicy::Island) {
+            island = i % num_islands;
+            w_lo = static_cast<std::uint32_t>(
+                static_cast<std::uint64_t>(island) * w_cnt /
+                num_islands);
+            w_hi = static_cast<std::uint32_t>(
+                static_cast<std::uint64_t>(island + 1) * w_cnt /
+                num_islands);
+            home = w_lo + (i / num_islands) % (w_hi - w_lo);
+        }
         homes_.push_back(home);
-        db_.sys().spawn(std::make_unique<ServerProcess>(
-            db_, *this, planner_, home, rng_.fork()));
+        auto sp = std::make_unique<ServerProcess>(
+            db_, *this, planner_, home, rng_.fork());
+        switch (pl.policy) {
+          case os::PlacementPolicy::None:
+          case os::PlacementPolicy::Spread:
+            // Shared-everything: float over every CPU, draw globally.
+            break;
+          case os::PlacementPolicy::Pack:
+            // One undersized instance on the first islandSockets
+            // sockets; the remaining CPUs stay idle.
+            sp->setCpuAffinity(sys.socketAffinityMask(
+                0, std::clamp(pl.islandSockets, 1u, sockets)));
+            break;
+          case os::PlacementPolicy::Island:
+            sp->setCpuAffinity(
+                sys.socketAffinityMask(island * island_k, island_k));
+            sp->setPartition(w_lo, w_hi, pl.crossIslandFraction,
+                             pl.crossIslandCoordInstr);
+            break;
+        }
+        sys.spawn(std::move(sp));
     }
 }
 

@@ -14,6 +14,7 @@
 #include "db/database.hh"
 #include "db/trace.hh"
 #include "odb/planner.hh"
+#include "os/placement.hh"
 #include "sim/stats.hh"
 #include "sim/types.hh"
 
@@ -23,9 +24,16 @@ namespace odbsim::odb
 /** Client population and mix. */
 struct WorkloadConfig
 {
-    unsigned clients = 8;
-    TxnMix mix;
-    std::uint64_t seed = 0x0dbULL;
+    unsigned clients = 8;           ///< Concurrent clients (servers).
+    TxnMix mix;                     ///< Transaction-type mix.
+    std::uint64_t seed = 0x0dbULL;  ///< Workload RNG seed.
+    /**
+     * Server placement on the machine's socket topology. The default
+     * None keeps the legacy unpinned, uniformly-drawing behaviour
+     * bit-identically; Island pins each server to a socket group and
+     * partitions its warehouse draws (see docs/TOPOLOGY.md).
+     */
+    os::PlacementConfig placement;
 };
 
 /**

@@ -20,12 +20,24 @@ Scheduler::makeReady(Process *p)
                   "makeReady on runnable process ", p->name());
     p->state_ = Process::State::Ready;
     for (unsigned c = 0; c < slots_.size(); ++c) {
-        if (slots_[c].current == nullptr) {
+        if (slots_[c].current == nullptr && eligible(p, c)) {
             dispatch(c, p);
             return;
         }
     }
     ready_.push_back(p);
+}
+
+bool
+Scheduler::hasEligibleReady(unsigned cpu) const
+{
+    // With default all-ones masks the first element matches, so this
+    // costs the same as the !ready_.empty() check it generalizes.
+    for (const Process *p : ready_) {
+        if (eligible(p, cpu))
+            return true;
+    }
+    return false;
 }
 
 void
@@ -47,7 +59,16 @@ Scheduler::dispatch(unsigned cpu, Process *p)
 {
     CpuSlot &slot = slots_[cpu];
     odbsim_assert(slot.current == nullptr, "dispatch on busy CPU ", cpu);
+    odbsim_assert(eligible(p, cpu),
+                  "dispatch violates affinity of ", p->name());
 
+    p->lastCpu_ = cpu;
+    if (!p->numaHomed_) {
+        // First dispatch: on a multi-socket topology, first-touch home
+        // the process's private (PGA/stack) region on this socket.
+        p->numaHomed_ = true;
+        sys_.homeProcessPrivate(p, cpu);
+    }
     if (slot.lastRun != p || slot.wentIdle) {
         ctxSwitches_.inc();
         p->pendingKernelInstr_ +=
@@ -110,7 +131,8 @@ Scheduler::chunkDone(unsigned cpu, NextAction::After after)
 
     switch (after) {
       case NextAction::After::Continue:
-        if (sys_.now() - slot.sliceStart >= quantum_ && !ready_.empty()) {
+        if (sys_.now() - slot.sliceStart >= quantum_ &&
+            hasEligibleReady(cpu)) {
             // Quantum expired and somebody is waiting: preempt.
             p->state_ = Process::State::Ready;
             ready_.push_back(p);
@@ -148,13 +170,17 @@ void
 Scheduler::pickNext(unsigned cpu)
 {
     CpuSlot &slot = slots_[cpu];
-    if (ready_.empty()) {
-        slot.wentIdle = true;
-        return;
+    // Frontmost ready process allowed on this CPU; with default
+    // all-ones masks this is exactly the legacy front pop.
+    for (auto it = ready_.begin(); it != ready_.end(); ++it) {
+        if (eligible(*it, cpu)) {
+            Process *p = *it;
+            ready_.erase(it);
+            dispatch(cpu, p);
+            return;
+        }
     }
-    Process *p = ready_.front();
-    ready_.pop_front();
-    dispatch(cpu, p);
+    slot.wentIdle = true;
 }
 
 void

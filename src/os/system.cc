@@ -10,7 +10,8 @@ namespace odbsim::os
 System::System(const SystemConfig &cfg)
     : cfg_(cfg),
       memsys_(cfg.numCpus / std::max(1u, cfg.threadsPerCore),
-              cfg.hierarchy, cfg.bus, cfg.core.samplePeriod),
+              cfg.hierarchy, cfg.bus, cfg.core.samplePeriod,
+              cfg.topology),
       disks_(cfg.disks, eq_, cfg.seed ^ 0xd15cULL),
       sched_(*this, cfg.numCpus, cfg.quantum),
       rng_(cfg.seed)
@@ -36,12 +37,43 @@ System::spawn(std::unique_ptr<Process> p)
     return raw;
 }
 
+std::uint32_t
+System::socketAffinityMask(unsigned first_socket,
+                           unsigned num_sockets) const
+{
+    std::uint32_t mask = 0;
+    for (unsigned i = 0; i < numCpus(); ++i) {
+        const unsigned s = socketOfCpu(i);
+        if (s >= first_socket && s < first_socket + num_sockets)
+            mask |= 1u << i;
+    }
+    odbsim_assert(mask != 0, "socket affinity mask selects no CPU");
+    return mask;
+}
+
+void
+System::homeProcessPrivate(Process *p, unsigned cpu)
+{
+    if (memsys_.numSockets() <= 1)
+        return;
+    memsys_.setHomeRegion(p->privateBase(), mem::addrmap::pgaStride,
+                          socketOfCpu(cpu));
+}
+
 void
 System::diskReadForProcess(Process *p, std::uint64_t block_id,
                            Addr frame_addr, std::uint64_t bytes)
 {
-    disks_.readBlock(block_id, bytes, [this, p, frame_addr, bytes] {
-        memsys_.dmaFill(frame_addr, bytes, now());
+    // First-touch homing: the filled frame belongs to the socket the
+    // requesting process runs on (it is Running right now, so lastCpu
+    // is current). -1 on single-socket topologies = no homing.
+    const int home =
+        memsys_.numSockets() > 1
+            ? static_cast<int>(socketOfCpu(p->lastCpu()))
+            : -1;
+    disks_.readBlock(block_id, bytes, [this, p, frame_addr, bytes,
+                                       home] {
+        memsys_.dmaFill(frame_addr, bytes, now(), home);
         sched_.wake(p, cfg_.kernel.ioCompleteInstr);
     });
 }

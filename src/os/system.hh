@@ -48,6 +48,8 @@ struct SystemConfig
     cpu::CoreConfig core;
     mem::HierarchyConfig hierarchy;
     mem::BusConfig bus;
+    /** Socket topology (default: one socket, the legacy machine). */
+    mem::TopologyConfig topology;
     DiskArrayConfig disks;
     KernelCosts kernel;
     /** Scheduler time slice. */
@@ -90,6 +92,32 @@ class System
             return i;
         return i ^ 1;
     }
+
+    /** @name Socket topology @{ */
+    /** Socket count S of the configured topology (>= 1). */
+    unsigned numSockets() const { return memsys_.numSockets(); }
+
+    /** Socket owning logical CPU @p i (always 0 at S=1). */
+    unsigned
+    socketOfCpu(unsigned i) const
+    {
+        return memsys_.socketOf(physicalOf(i));
+    }
+
+    /**
+     * Affinity mask over the logical CPUs of sockets
+     * [@p first_socket, @p first_socket + @p num_sockets).
+     */
+    std::uint32_t socketAffinityMask(unsigned first_socket,
+                                     unsigned num_sockets) const;
+
+    /**
+     * First-touch home @p p's private (PGA/stack) region on the socket
+     * of logical CPU @p cpu. Called by the scheduler on the first
+     * dispatch; a no-op on single-socket topologies.
+     */
+    void homeProcessPrivate(Process *p, unsigned cpu);
+    /** @} */
 
     Scheduler &sched() { return sched_; }
     const Scheduler &sched() const { return sched_; }

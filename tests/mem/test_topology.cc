@@ -1,0 +1,256 @@
+/**
+ * @file
+ * Tests for the multi-socket topology model: S=1 knob inertness (the
+ * bit-exactness contract of docs/TOPOLOGY.md), hop geometry, the
+ * first-touch home map, remote-penalty accounting, and DMA re-homing.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/hierarchy.hh"
+#include "mem/topology.hh"
+
+namespace
+{
+
+using namespace odbsim;
+using namespace odbsim::mem;
+
+constexpr std::uint32_t S = 16;
+
+HierarchyConfig
+smallHier()
+{
+    HierarchyConfig h;
+    h.l2 = {16 * KiB, 4, 64};
+    h.l3 = {64 * KiB, 8, 64};
+    return h;
+}
+
+BusConfig
+quietBus()
+{
+    BusConfig b;
+    b.windowTicks = tickPerSec; // Effectively never recompute.
+    return b;
+}
+
+/** n-th sampled line address (multiples of S lines). */
+Addr
+sline(std::uint64_t n)
+{
+    return n * 64 * S;
+}
+
+TEST(Topology, SocketHopsGeometry)
+{
+    // Single socket: no hops, ever.
+    EXPECT_EQ(socketHops(0, 0, 1), 0u);
+    // Up to four sockets: fully connected, one hop between any pair.
+    EXPECT_EQ(socketHops(0, 3, 4), 1u);
+    EXPECT_EQ(socketHops(2, 1, 4), 1u);
+    EXPECT_EQ(socketHops(1, 1, 4), 0u);
+    // Beyond four: ring, minimum distance either way around.
+    EXPECT_EQ(socketHops(0, 1, 8), 1u);
+    EXPECT_EQ(socketHops(0, 4, 8), 4u);
+    EXPECT_EQ(socketHops(0, 5, 8), 3u);
+    EXPECT_EQ(socketHops(7, 0, 8), 1u);
+}
+
+TEST(Topology, SingleSocketKnobsAreInert)
+{
+    // The S=1 contract: with sockets == 1 every other topology knob is
+    // dead — results, stall cycles and counters are bit-identical to a
+    // default-constructed system on an identical access stream.
+    TopologyConfig absurd;
+    absurd.sockets = 1;
+    absurd.hopLatencyCycles = 1e6;
+    absurd.linkOccupancyCycles = 1e6;
+    absurd.linkDmaOccupancyCyclesPerKb = 1e6;
+
+    MemorySystem legacy(2, smallHier(), quietBus(), S);
+    MemorySystem knobbed(2, smallHier(), quietBus(), S, absurd);
+    EXPECT_FALSE(knobbed.multiSocket());
+    EXPECT_EQ(knobbed.interconnect(), nullptr);
+
+    std::uint64_t x = 88172645463325252ull; // xorshift64
+    for (int i = 0; i < 20'000; ++i) {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        const Addr addr = sline(x % 512);
+        const unsigned cpu = x & 1;
+        const AccessKind kind =
+            (i % 4 == 0) ? AccessKind::DataWrite : AccessKind::DataRead;
+        const auto ra =
+            legacy.access(cpu, addr, kind, ExecMode::User, 0);
+        const auto rb =
+            knobbed.access(cpu, addr, kind, ExecMode::User, 0);
+        ASSERT_EQ(ra.servicedBy, rb.servicedBy) << "ref " << i;
+        ASSERT_EQ(ra.memStallExtraCycles, rb.memStallExtraCycles)
+            << "ref " << i;
+    }
+    for (unsigned c = 0; c < 2; ++c) {
+        const MemCounters &a = legacy.cpu(c).counters(ExecMode::User);
+        const MemCounters &b = knobbed.cpu(c).counters(ExecMode::User);
+        EXPECT_EQ(a.l2Misses, b.l2Misses);
+        EXPECT_EQ(a.l3Misses, b.l3Misses);
+        EXPECT_EQ(a.coherenceMisses, b.coherenceMisses);
+    }
+    EXPECT_EQ(knobbed.remoteMisses(), 0u);
+    EXPECT_EQ(knobbed.remoteMissShare(), 0.0);
+    EXPECT_EQ(knobbed.linkUtilizationMean(), 0.0);
+}
+
+TEST(Topology, SocketOfSplitsCpusEvenly)
+{
+    TopologyConfig topo;
+    topo.sockets = 2;
+    MemorySystem ms(4, smallHier(), quietBus(), S, topo);
+    EXPECT_TRUE(ms.multiSocket());
+    EXPECT_EQ(ms.numSockets(), 2u);
+    EXPECT_EQ(ms.socketOf(0), 0u);
+    EXPECT_EQ(ms.socketOf(1), 0u);
+    EXPECT_EQ(ms.socketOf(2), 1u);
+    EXPECT_EQ(ms.socketOf(3), 1u);
+    EXPECT_EQ(&ms.busAt(0), &ms.bus());
+    EXPECT_NE(&ms.busAt(1), &ms.bus());
+    EXPECT_NE(ms.interconnect(), nullptr);
+}
+
+TEST(Topology, HomeInterleaveAndRegionOverride)
+{
+    TopologyConfig topo;
+    topo.sockets = 2;
+    MemorySystem ms(2, smallHier(), quietBus(), S, topo);
+    const Addr page = Addr{1} << topo.pageShift;
+    // Default: page-interleaved.
+    EXPECT_EQ(ms.homeSocket(0), 0u);
+    EXPECT_EQ(ms.homeSocket(page), 1u);
+    EXPECT_EQ(ms.homeSocket(2 * page), 0u);
+    // First-touch override wins, later calls overwrite.
+    ms.setHomeRegion(0, 2 * page, 1);
+    EXPECT_EQ(ms.homeSocket(0), 1u);
+    EXPECT_EQ(ms.homeSocket(page), 1u);
+    EXPECT_EQ(ms.homeSocket(2 * page), 0u); // Outside the region.
+    ms.setHomeRegion(0, page, 0);
+    EXPECT_EQ(ms.homeSocket(0), 0u);
+    EXPECT_EQ(ms.homeSocket(page), 1u);
+}
+
+TEST(Topology, RemoteMissPaysHopLatencyLocalDoesNot)
+{
+    TopologyConfig topo;
+    topo.sockets = 2;
+    topo.hopLatencyCycles = 300.0;
+    MemorySystem ms(2, smallHier(), quietBus(), S, topo);
+    // CPU 0 lives on socket 0. Home two disjoint regions explicitly.
+    ms.setHomeRegion(sline(0), 64, 0);
+    ms.setHomeRegion(sline(64), 64, 1);
+
+    const auto local =
+        ms.access(0, sline(0), AccessKind::DataRead, ExecMode::User, 0);
+    ASSERT_TRUE(local.l3Miss());
+    EXPECT_EQ(local.memStallExtraCycles, 0.0); // Quiet local bus.
+
+    const auto remote = ms.access(0, sline(64), AccessKind::DataRead,
+                                  ExecMode::User, 0);
+    ASSERT_TRUE(remote.l3Miss());
+    EXPECT_EQ(remote.memStallExtraCycles, 300.0); // One hop, idle link.
+
+    EXPECT_EQ(ms.remoteMisses(), std::uint64_t{S});
+    EXPECT_GT(ms.remoteMissShare(), 0.0);
+}
+
+TEST(Topology, RemoteIsNeverCheaperAndEqualAtZeroPenalty)
+{
+    // Sweep the hop latency: the remote extra stall must be monotone
+    // in the knob and exactly equal to the local cost when the
+    // interconnect is free.
+    double prev = -1.0;
+    for (const double hop : {0.0, 50.0, 300.0, 800.0}) {
+        TopologyConfig topo;
+        topo.sockets = 2;
+        topo.hopLatencyCycles = hop;
+        topo.linkOccupancyCycles = 0.0;
+        MemorySystem ms(2, smallHier(), quietBus(), S, topo);
+        ms.setHomeRegion(sline(0), 64, 0);
+        ms.setHomeRegion(sline(64), 64, 1);
+        const auto local = ms.access(0, sline(0), AccessKind::DataRead,
+                                     ExecMode::User, 0);
+        const auto remote = ms.access(0, sline(64),
+                                      AccessKind::DataRead,
+                                      ExecMode::User, 0);
+        EXPECT_GE(remote.memStallExtraCycles,
+                  local.memStallExtraCycles)
+            << "hop " << hop;
+        if (hop == 0.0) {
+            EXPECT_EQ(remote.memStallExtraCycles,
+                      local.memStallExtraCycles);
+        }
+        EXPECT_GT(remote.memStallExtraCycles, prev) << "hop " << hop;
+        prev = remote.memStallExtraCycles;
+        if (hop == 0.0)
+            prev = -1.0; // 0-hop equals local; restart the chain.
+    }
+}
+
+TEST(Topology, DmaReHomingMigratesDirectoryState)
+{
+    TopologyConfig topo;
+    topo.sockets = 2;
+    MemorySystem ms(2, smallHier(), quietBus(), S, topo);
+    const Addr line = sline(0);
+    ms.setHomeRegion(line, 64, 0);
+    // CPU 1 (socket 1) caches the line; it is tracked by socket 0's
+    // directory (its home).
+    ms.access(1, line, AccessKind::DataWrite, ExecMode::User, 0);
+    ASSERT_TRUE(ms.directoryAt(0).snoop(line).tracked);
+    // DMA refills the region and re-homes it to socket 1: the stale
+    // entry must leave the old home's directory, the cached copy must
+    // be invalidated, and the home must move.
+    ms.dmaFill(line, 64, 0, 1);
+    EXPECT_FALSE(ms.directoryAt(0).snoop(line).tracked);
+    EXPECT_EQ(ms.homeSocket(line), 1u);
+    const auto res =
+        ms.access(1, line, AccessKind::DataRead, ExecMode::User, 0);
+    EXPECT_TRUE(res.l3Miss());
+    EXPECT_TRUE(ms.directoryAt(1).snoop(line).tracked);
+}
+
+TEST(Topology, EpochPathMatchesPerCallPathMultiSocket)
+{
+    // The hoisted-epoch entry point must stay bit-exact with per-call
+    // access() when the topology paths are engaged.
+    TopologyConfig topo;
+    topo.sockets = 2;
+    BusConfig b;
+    b.windowTicks = 10 * tickPerUs;
+    MemorySystem plain(2, smallHier(), b, S, topo);
+    MemorySystem epoched(2, smallHier(), b, S, topo);
+    std::uint64_t x = 424242;
+    for (int e = 0; e < 100; ++e) {
+        const Tick now = static_cast<Tick>(e) * 3 * tickPerUs;
+        const unsigned cpu = e & 1;
+        auto epoch = epoched.beginEpoch(cpu, ExecMode::User, now);
+        for (int i = 0; i < 32; ++i) {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            const Addr addr = sline(x % 512);
+            const AccessKind kind = (i % 5 == 0)
+                                        ? AccessKind::DataWrite
+                                        : AccessKind::DataRead;
+            const auto ra =
+                plain.access(cpu, addr, kind, ExecMode::User, now);
+            const auto rb = epoch.access(addr, kind);
+            ASSERT_EQ(ra.servicedBy, rb.servicedBy)
+                << "epoch " << e << " ref " << i;
+            ASSERT_EQ(ra.memStallExtraCycles, rb.memStallExtraCycles)
+                << "epoch " << e << " ref " << i;
+        }
+    }
+    EXPECT_EQ(plain.remoteMisses(), epoched.remoteMisses());
+}
+
+} // namespace
