@@ -27,7 +27,8 @@ perf_gate="${ODBSIM_PERF_GATE:-strict}"
 echo "== configure + build (Release) =="
 cmake -B "$build_dir" -S "$repo_root" -DCMAKE_BUILD_TYPE=Release
 cmake --build "$build_dir" -j "$(nproc)" --target \
-    bench_hotpath bench_fig09_cpi bench_fig19_itanium2 bench_islands
+    bench_hotpath bench_fig09_cpi bench_fig19_itanium2 bench_islands \
+    bench_faults
 
 echo "== hot-path baseline (1.5x queue gate, 1.3x directory gate) =="
 out_json="$build_dir/BENCH_hotpath.json"
@@ -96,6 +97,23 @@ if diff -q "$cache_serial/odbsim_islands_xeon-quad-mp.csv" \
     echo "OK  odbsim_islands_xeon-quad-mp.csv is bit-identical (serial vs parallel)"
 else
     echo "FAIL odbsim_islands_xeon-quad-mp.csv differs between serial and parallel runs" >&2
+    status=1
+fi
+
+echo "== fault degradation study (serial vs --jobs 0 must be bit-identical) =="
+# The study self-checks its degradation physics (exit 3 on failure):
+# monotone tps decay with the fault scale and recovery back to >= 95%
+# of the pre-crash rate. The serial and parallel CSVs are then diffed
+# for the determinism contract. Note the scale-0 baseline rows inside
+# the CSV run with the default (inert) fault plan, so this section
+# also exercises the inertness path end to end.
+ODBSIM_CACHE_DIR="$cache_serial" "$build_dir/bench/bench_faults" > /dev/null
+ODBSIM_CACHE_DIR="$cache_parallel" "$build_dir/bench/bench_faults" -j 0 > /dev/null
+if diff -q "$cache_serial/odbsim_faults_xeon-quad-mp.csv" \
+        "$cache_parallel/odbsim_faults_xeon-quad-mp.csv" > /dev/null; then
+    echo "OK  odbsim_faults_xeon-quad-mp.csv is bit-identical (serial vs parallel)"
+else
+    echo "FAIL odbsim_faults_xeon-quad-mp.csv differs between serial and parallel runs" >&2
     status=1
 fi
 

@@ -23,6 +23,7 @@
 #include "core/metrics.hh"
 #include "mem/topology.hh"
 #include "os/placement.hh"
+#include "sim/fault.hh"
 #include "sim/types.hh"
 
 namespace odbsim::core
@@ -74,6 +75,9 @@ struct RunKnobs
     /** IOQ residency (bus cycles) of the 1P baseline for the Table 4
      *  L3 stall formula; the paper measured 102. */
     double ioq1pCycles = 102.0;
+    /** Fault-injection plan (default: none — structurally inert, the
+     *  run is bit-identical to one without the subsystem). */
+    sim::FaultConfig faults;
 };
 
 /**

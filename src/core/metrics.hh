@@ -80,6 +80,27 @@ struct RunResult
     double linkUtil = 0.0;
     /** @} */
 
+    /**
+     * @name Fault injection (robustness runs only; all exactly zero
+     * under the default fault-free plan and excluded from the golden
+     * study CSVs, which must stay bit-identical)
+     * @{
+     */
+    std::uint64_t txnAborts = 0;
+    std::uint64_t txnRetries = 0;
+    std::uint64_t lockTimeouts = 0;
+    std::uint64_t diskTransientErrors = 0;
+    std::uint64_t driveFailures = 0;
+    std::uint64_t redoReplayedBytes = 0;
+    /** Mean time to recover: crash tick to instance-up, ms (0 when no
+     *  crash was injected). */
+    double mttrMs = 0.0;
+    /** Committed-txn rate over the 500 ms before the crash. */
+    double tpsPreCrash = 0.0;
+    /** Committed-txn rate over the 500 ms after recovery completed. */
+    double tpsPostRecovery = 0.0;
+    /** @} */
+
     /** CPI decomposition (Figure 12 / Tables 3-4). */
     analysis::CpiComponents breakdown;
 

@@ -12,7 +12,10 @@ Database::Database(os::System &sys, const DatabaseConfig &cfg)
     : sys_(sys), cfg_(cfg), schema_(cfg.schema),
       bufcache_(resolveFrames(cfg, schema_)), log_(sys, cfg_.costs),
       dbwr_(sys, cfg_.costs, bufcache_, cfg.dbwr)
-{}
+{
+    locks_.bind(&sys);
+    dbwr_.bindLog(&log_);
+}
 
 std::uint64_t
 Database::resolveFrames(const DatabaseConfig &cfg, const Schema &schema)

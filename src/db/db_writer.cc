@@ -2,6 +2,7 @@
 
 #include <memory>
 
+#include "db/redo_log.hh"
 #include "mem/addr_space.hh"
 #include "sim/logging.hh"
 
@@ -47,13 +48,12 @@ class DbWriter::DbwrProcess : public os::Process
         };
 
         // Evicted dirty blocks first: they must reach disk.
-        while (n < mgr_.cfg_.batchSize && !mgr_.urgent_.empty()) {
-            submit(mgr_.urgent_.front());
-            mgr_.urgent_.pop_front();
-        }
+        while (n < mgr_.cfg_.batchSize && !mgr_.urgent_.empty())
+            submit(mgr_.urgent_.popFront());
 
         // Then checkpoint aged (or backlogged) dirty resident blocks.
         const Tick now = sys.now();
+        const bool had_ckpt = !mgr_.ckpt_.empty();
         while (n < mgr_.cfg_.batchSize && !mgr_.ckpt_.empty()) {
             const auto &[block, dirtied_at] = mgr_.ckpt_.front();
             const bool aged =
@@ -63,7 +63,7 @@ class DbWriter::DbwrProcess : public os::Process
             if (!aged && !backlogged)
                 break;
             const BlockId b = block;
-            mgr_.ckpt_.pop_front();
+            mgr_.ckpt_.popFront();
             // Only write if the block is still resident and dirty;
             // evicted blocks went through the urgent path and
             // re-cleaned blocks were already written.
@@ -72,6 +72,11 @@ class DbWriter::DbwrProcess : public os::Process
                 mgr_.bc_.markClean(b);
                 submit(b);
             }
+        }
+        if (had_ckpt && mgr_.ckpt_.empty() && mgr_.log_) {
+            // The whole registered-dirty backlog reached the writer:
+            // redo older than this point will never be needed again.
+            mgr_.log_->advanceCheckpoint();
         }
 
         if (n == 0) {
@@ -114,7 +119,7 @@ void
 DbWriter::enqueueEvicted(BlockId b)
 {
     odbsim_assert(proc_, "DbWriter not started");
-    urgent_.push_back(b);
+    urgent_.pushBack(b);
     if (sleeping_ && urgent_.size() >= cfg_.wakeThreshold) {
         sleeping_ = false;
         sys_.wakeProcess(proc_, 500);
@@ -125,7 +130,7 @@ void
 DbWriter::noteDirty(BlockId b, Tick now)
 {
     odbsim_assert(proc_, "DbWriter not started");
-    ckpt_.emplace_back(b, now);
+    ckpt_.pushBack({b, now});
 }
 
 } // namespace odbsim::db

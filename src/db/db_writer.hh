@@ -17,7 +17,6 @@
 #define ODBSIM_DB_DB_WRITER_HH
 
 #include <cstdint>
-#include <deque>
 #include <utility>
 
 #include "db/buffer_cache.hh"
@@ -25,9 +24,12 @@
 #include "db/types.hh"
 #include "os/process.hh"
 #include "os/system.hh"
+#include "sim/pooled_fifo.hh"
 
 namespace odbsim::db
 {
+
+class LogManager;
 
 /** DBWR batching parameters. */
 struct DbWriterConfig
@@ -60,6 +62,14 @@ class DbWriter
     /** Spawn the DBWR background process. */
     void start();
 
+    /**
+     * Bind the redo-log manager so DBWR can advance the checkpoint
+     * marker whenever its checkpoint queue fully drains — every dirty
+     * block registered before that point is on disk, so crash
+     * recovery need not replay redo older than it.
+     */
+    void bindLog(LogManager *log) { log_ = log; }
+
     /** A dirty block was evicted and must be written. */
     void enqueueEvicted(BlockId b);
 
@@ -72,6 +82,12 @@ class DbWriter
 
     /** @name Statistics @{ */
     std::uint64_t blocksWritten() const { return written_; }
+    /** Work-queue pool growth events (zero-allocation gate hook). */
+    std::uint64_t
+    queueAllocations() const
+    {
+        return urgent_.allocations() + ckpt_.allocations();
+    }
     void resetStats() { written_ = 0; }
     /** @} */
 
@@ -83,10 +99,11 @@ class DbWriter
     BufferCache &bc_;
     DbWriterConfig cfg_;
     os::Process *proc_ = nullptr;
+    LogManager *log_ = nullptr;
     bool sleeping_ = false;
     bool throttled_ = false;
-    std::deque<BlockId> urgent_;
-    std::deque<std::pair<BlockId, Tick>> ckpt_;
+    sim::PooledFifo<BlockId> urgent_;
+    sim::PooledFifo<std::pair<BlockId, Tick>> ckpt_;
     unsigned outstanding_ = 0;
     std::uint64_t written_ = 0;
 };

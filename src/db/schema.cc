@@ -294,18 +294,21 @@ Schema::allocateHistory(std::uint32_t w)
 }
 
 std::int32_t
-Schema::adjustStock(std::uint32_t w, std::uint32_t i, std::int32_t delta)
+Schema::adjustStock(std::uint32_t w, std::uint32_t i, std::int32_t delta,
+                    std::int32_t *net_applied)
 {
     const std::uint64_t key = stockKey(w, i);
     bool inserted;
     std::int32_t &slot = stockQty_.findOrInsert(key, inserted);
-    std::int32_t qty =
+    const std::int32_t before =
         inserted ? static_cast<std::int32_t>(50 + mix(w, i, 0x57) % 50)
                  : slot;
-    qty += delta;
+    std::int32_t qty = before + delta;
     if (qty < 10)
         qty += 91; // TPC-C restock rule.
     slot = qty;
+    if (net_applied)
+        *net_applied = qty - before;
     return qty;
 }
 
@@ -333,6 +336,55 @@ Schema::addDistrictYtd(std::uint32_t w, std::uint32_t d, double amt)
 {
     districtYtd_[district(w, d)] += amt;
     return districtYtd_[district(w, d)];
+}
+
+void
+Schema::applyPlanUndo(const PlanUndo &u)
+{
+    switch (u.kind) {
+      case PlanUndo::Kind::StockDelta: {
+        // Raw reversal of the recorded net delta — the restock rule
+        // must not re-fire while undoing its own effect.
+        const std::uint64_t key = stockKey(u.w, u.a);
+        bool inserted;
+        std::int32_t &slot = stockQty_.findOrInsert(key, inserted);
+        if (inserted)
+            slot = static_cast<std::int32_t>(50 + mix(u.w, u.a, 0x57) % 50);
+        slot -= static_cast<std::int32_t>(u.amount);
+        break;
+      }
+      case PlanUndo::Kind::CustomerBalance: {
+        const std::uint64_t key = customerKey(u.w, u.d, u.a);
+        bool inserted;
+        double &slot = custBalance_.findOrInsert(key, inserted);
+        if (inserted)
+            slot = -10.0;
+        slot -= u.amount;
+        break;
+      }
+      case PlanUndo::Kind::WarehouseYtd:
+        warehouseYtd_[u.w] -= u.amount;
+        break;
+      case PlanUndo::Kind::DistrictYtd:
+        districtYtd_[district(u.w, u.d)] -= u.amount;
+        break;
+      case PlanUndo::Kind::EraseOrder: {
+        const std::uint64_t dd = district(u.w, u.d);
+        const std::size_t i =
+            liveOrders_.findIndex((dd << 32) | u.a);
+        if (i != decltype(liveOrders_)::npos)
+            liveOrders_.eraseAt(i);
+        break;
+      }
+      case PlanUndo::Kind::DeliveryCursor: {
+        const std::uint64_t dd = district(u.w, u.d);
+        // Guarded restore: only step the cursor back if no later
+        // delivery advanced past this order in the meantime.
+        if (nextDelivery_[dd] == u.a + 1)
+            nextDelivery_[dd] = u.a;
+        break;
+      }
+    }
 }
 
 std::uint64_t

@@ -29,6 +29,7 @@
 #include <vector>
 
 #include "db/btree.hh"
+#include "db/trace.hh"
 #include "db/types.hh"
 #include "sim/flat_map.hh"
 
@@ -171,12 +172,23 @@ class Schema
                                                   std::uint32_t d);
     std::uint64_t allocateUndo(std::uint32_t bytes);
     std::uint32_t allocateHistory(std::uint32_t w);
+    /** Adjust a stock quantity (TPC-C restock rule applies). When
+     *  @p net_applied is non-null it receives the net change actually
+     *  made — the exact amount a rollback must subtract back out. */
     std::int32_t adjustStock(std::uint32_t w, std::uint32_t i,
-                             std::int32_t delta);
+                             std::int32_t delta,
+                             std::int32_t *net_applied = nullptr);
     double adjustCustomerBalance(std::uint32_t w, std::uint32_t d,
                                  std::uint32_t c, double delta);
     double addWarehouseYtd(std::uint32_t w, double amt);
     double addDistrictYtd(std::uint32_t w, std::uint32_t d, double amt);
+
+    /**
+     * Reverse one plan-time mutation (transaction rollback). Applied
+     * back to front over ActionTrace::undo; see PlanUndo for the
+     * delta-reversal and sequence-gap semantics.
+     */
+    void applyPlanUndo(const PlanUndo &u);
     /** @} */
 
     /** Deterministic attribute derivation. */

@@ -195,12 +195,57 @@ toString(TxnType t)
     }
 }
 
+/**
+ * The inverse of one plan-time schema mutation.
+ *
+ * Plan-then-replay applies functional effects at plan time; when a
+ * transaction aborts mid-replay (fault injection: timeout, spontaneous
+ * abort, crash), the planner's *value* adjustments must be reversed so
+ * a retry replans against correct state. Reversal is delta-based, not
+ * value-restore: concurrent transactions may have planned against the
+ * same row since, and subtracting this transaction's net delta leaves
+ * their effects intact. Sequence allocations (order ids, history
+ * sequence, undo cursor) are deliberately *not* reversed — committed
+ * databases show the same gaps after rollbacks.
+ */
+struct PlanUndo
+{
+    enum class Kind : std::uint8_t
+    {
+        /** Reverse a net stock-quantity delta (restock included). */
+        StockDelta,
+        /** Reverse a customer-balance delta. */
+        CustomerBalance,
+        /** Reverse a warehouse YTD increment. */
+        WarehouseYtd,
+        /** Reverse a district YTD increment. */
+        DistrictYtd,
+        /** Remove the liveOrders entry of a never-created order. */
+        EraseOrder,
+        /** Restore the delivery cursor (guarded: only if no later
+         *  delivery advanced it further). */
+        DeliveryCursor,
+    };
+
+    Kind kind = Kind::StockDelta;
+    std::uint32_t w = 0;
+    std::uint32_t d = 0;
+    /** Item (StockDelta), customer (CustomerBalance) or oid
+     *  (EraseOrder / DeliveryCursor). */
+    std::uint32_t a = 0;
+    /** The delta to subtract back out. */
+    double amount = 0.0;
+};
+
 /** A planned transaction, ready for timed replay. */
 struct ActionTrace
 {
     TxnType type = TxnType::NewOrder;
     std::uint32_t logBytes = 0;
     std::vector<Action> actions;
+    /** Inverses of this plan's schema mutations, in apply order;
+     *  rollback walks them back to front. */
+    std::vector<PlanUndo> undo;
 
     /**
      * Begin a new transaction in this trace, retaining the action
@@ -213,6 +258,7 @@ struct ActionTrace
         type = ty;
         logBytes = 0;
         actions.clear();
+        undo.clear();
     }
 };
 

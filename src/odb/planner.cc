@@ -9,6 +9,7 @@ namespace odbsim::odb
 
 using db::Action;
 using db::ActionTrace;
+using db::PlanUndo;
 using db::RowLoc;
 using db::Table;
 using db::TxnType;
@@ -182,6 +183,7 @@ TxnPlanner::planNewOrder(ActionTrace &t, Rng &rng, std::uint32_t w)
     emitRowTouch(t, s.customerRow(w, d, c), false);
 
     const std::uint32_t oid = s.allocateOrder(w, d, c, ol_cnt);
+    t.undo.push_back(PlanUndo{PlanUndo::Kind::EraseOrder, w, d, oid, 0.0});
     const db::OrderInfo info = s.orderInfo(w, d, oid);
 
     // Insert order + new-order rows.
@@ -213,8 +215,12 @@ TxnPlanner::planNewOrder(ActionTrace &t, Rng &rng, std::uint32_t w)
         emitIndexLookup(t, s.stockIndex(), s.stockKey(supply_w, item));
         emitRowTouch(t, s.stockRow(supply_w, item), true);
         emitUndo(t, 100);
+        std::int32_t net = 0;
         s.adjustStock(supply_w, item,
-                      -static_cast<std::int32_t>(rng.range(1, 10)));
+                      -static_cast<std::int32_t>(rng.range(1, 10)),
+                      &net);
+        t.undo.push_back(PlanUndo{PlanUndo::Kind::StockDelta, supply_w,
+                                  0, item, static_cast<double>(net)});
 
         emitRowTouch(t, s.orderLineRow(w, d, info.olSeqStart + l), true);
     }
@@ -257,11 +263,15 @@ TxnPlanner::planPayment(ActionTrace &t, Rng &rng, std::uint32_t w)
     emitRowTouch(t, s.warehouseRow(w), true);
     emitUndo(t, 80);
     s.addWarehouseYtd(w, amount);
+    t.undo.push_back(
+        PlanUndo{PlanUndo::Kind::WarehouseYtd, w, 0, 0, amount});
 
     emitStatement(t);
     emitRowTouch(t, s.districtRow(w, d), true);
     emitUndo(t, 80);
     s.addDistrictYtd(w, d, amount);
+    t.undo.push_back(
+        PlanUndo{PlanUndo::Kind::DistrictYtd, w, d, 0, amount});
 
     // 60% of customer selections go through the last-name index (a
     // short range scan), 40% by customer id.
@@ -285,6 +295,8 @@ TxnPlanner::planPayment(ActionTrace &t, Rng &rng, std::uint32_t w)
     emitRowTouch(t, s.customerRow(cw, cd, c), true);
     emitUndo(t, 120);
     s.adjustCustomerBalance(cw, cd, c, -amount);
+    t.undo.push_back(
+        PlanUndo{PlanUndo::Kind::CustomerBalance, cw, cd, c, -amount});
 
     // History insert (no index; append-only ring, never read back).
     emitStatement(t);
@@ -351,6 +363,8 @@ TxnPlanner::planDelivery(ActionTrace &t, Rng &rng, std::uint32_t w)
         const auto oid = s.popDeliveryOrder(w, d);
         if (!oid)
             continue;
+        t.undo.push_back(
+            PlanUndo{PlanUndo::Kind::DeliveryCursor, w, d, *oid, 0.0});
         t.actions.push_back(
             Action::lock(db::makeLockKey(
                 Table::District, w * cfg.districtsPerWarehouse + d)));
@@ -387,6 +401,8 @@ TxnPlanner::planDelivery(ActionTrace &t, Rng &rng, std::uint32_t w)
         emitRowTouch(t, s.customerRow(w, d, info.customer), true);
         emitUndo(t, 100);
         s.adjustCustomerBalance(w, d, info.customer, 100.0);
+        t.undo.push_back(PlanUndo{PlanUndo::Kind::CustomerBalance, w, d,
+                                  info.customer, 100.0});
     }
 
     t.logBytes = 12000;

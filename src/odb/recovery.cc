@@ -1,0 +1,88 @@
+#include "odb/recovery.hh"
+
+#include <algorithm>
+
+#include "mem/addr_space.hh"
+#include "odb/workload.hh"
+#include "sim/logging.hh"
+
+namespace odbsim::odb
+{
+
+RecoveryProcess::RecoveryProcess(db::Database &database,
+                                 OdbWorkload &workload)
+    : os::Process("recovery"), db_(database), workload_(workload)
+{
+}
+
+cpu::WorkItem
+RecoveryProcess::applyWork(std::uint64_t instr) const
+{
+    // Redo apply is a streaming pass: log records in, block images
+    // out — buffer-cache heavy, little private state.
+    cpu::WorkItem wi;
+    wi.instructions = instr;
+    wi.mode = mem::ExecMode::User;
+    wi.codeBase = mem::addrmap::dbCodeBase;
+    wi.codeBytes = mem::addrmap::dbCodeBytes;
+    wi.privateBase = privateBase();
+    wi.privateBytes = mem::addrmap::pgaHotBytes;
+    wi.sharedBase = mem::addrmap::dbSharedBase;
+    wi.sharedBytes = mem::addrmap::dbSharedBytes;
+    wi.privateWeight = 0.30f;
+    wi.sharedWeight = 0.70f;
+    wi.frameWeight = 0.0f;
+    wi.dataRateScale = 1.0f;
+    return wi;
+}
+
+os::NextAction
+RecoveryProcess::next(os::System &sys)
+{
+    os::NextAction out;
+    sim::FaultPlan &faults = sys.faults();
+    const sim::FaultConfig &fc = faults.config();
+
+    if (redoLeft_ == ~std::uint64_t{0}) {
+        // First dispatch: size the redo window from the checkpoint
+        // marker, bounded by the configured cap.
+        const auto cap = static_cast<std::uint64_t>(
+            fc.recoveryRedoCapMb * 1024.0 * 1024.0);
+        redoLeft_ = std::min(db_.log().redoSinceCheckpoint(), cap);
+        faults.stats().redoReplayedBytes = redoLeft_;
+        odbsim_inform("crash recovery: replaying ", redoLeft_,
+                      " redo bytes");
+    } else if (pendingChunk_ > 0) {
+        // The log read landed: charge the apply cost for the chunk.
+        const double kb = static_cast<double>(pendingChunk_) / 1024.0;
+        redoLeft_ -= pendingChunk_;
+        pendingChunk_ = 0;
+        out.work = applyWork(static_cast<std::uint64_t>(
+            kb * fc.recoveryApplyInstrPerKb));
+        out.after = os::NextAction::After::Continue;
+        return out;
+    }
+
+    if (redoLeft_ == 0) {
+        // Instance up: stamp recoveryEndTick, revive the servers.
+        workload_.recoveryComplete();
+        out.work = applyWork(50000); // Open-for-business bookkeeping.
+        out.after = os::NextAction::After::Terminate;
+        return out;
+    }
+
+    // Issue the next sequential log read and sleep until it DMAs in.
+    pendingChunk_ = std::min(
+        redoLeft_, static_cast<std::uint64_t>(
+                       fc.recoveryReadChunkKb * 1024.0));
+    sys.chargeKernel(this, sys.kernelCosts().ioSubmitInstr);
+    os::System *s = &sys;
+    sys.disks().readLog(pendingChunk_, [this, s] {
+        s->wakeProcess(this, s->kernelCosts().ioCompleteInstr);
+    });
+    out.work = applyWork(2000); // Read setup.
+    out.after = os::NextAction::After::Block;
+    return out;
+}
+
+} // namespace odbsim::odb

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * RecoveryProcess: crash recovery of the database instance.
+ *
+ * Spawned at the crash tick, it reads the redo generated since the
+ * last checkpoint off the log drives in fixed-size chunks and charges
+ * the CPU cost of applying it, then declares the instance up again
+ * through OdbWorkload::recoveryComplete. MTTR is the span between the
+ * crash tick and that completion; the amount of redo to replay — and
+ * therefore how long the throughput dip lasts — is bounded by how
+ * recently DBWR finished a checkpoint (db::LogManager's checkpoint
+ * marker) and capped by FaultConfig::recoveryRedoCapMb.
+ */
+
+#ifndef ODBSIM_ODB_RECOVERY_HH
+#define ODBSIM_ODB_RECOVERY_HH
+
+#include <cstdint>
+
+#include "db/database.hh"
+#include "os/process.hh"
+
+namespace odbsim::odb
+{
+
+class OdbWorkload;
+
+/**
+ * Replays the post-checkpoint redo window after an instance crash.
+ */
+class RecoveryProcess : public os::Process
+{
+  public:
+    RecoveryProcess(db::Database &database, OdbWorkload &workload);
+
+    os::NextAction next(os::System &sys) override;
+
+  private:
+    cpu::WorkItem applyWork(std::uint64_t instr) const;
+
+    db::Database &db_;
+    OdbWorkload &workload_;
+    /** Redo bytes still to replay; resolved on the first dispatch. */
+    std::uint64_t redoLeft_ = ~std::uint64_t{0};
+    /** Bytes of the log read currently in flight (0 = none). */
+    std::uint64_t pendingChunk_ = 0;
+};
+
+} // namespace odbsim::odb
+
+#endif // ODBSIM_ODB_RECOVERY_HH

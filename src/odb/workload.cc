@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <memory>
 
+#include "odb/recovery.hh"
 #include "odb/server_process.hh"
 #include "sim/logging.hh"
 
@@ -41,6 +42,8 @@ OdbWorkload::start()
                   "fewer warehouses than islands");
 
     homes_.clear();
+    servers_.clear();
+    servers_.reserve(cfg_.clients);
     for (unsigned i = 0; i < cfg_.clients; ++i) {
         // The home warehouse only seeds the server; every transaction
         // picks its warehouse uniformly (see ServerProcess::next), so
@@ -83,18 +86,87 @@ OdbWorkload::start()
                              pl.crossIslandCoordInstr);
             break;
         }
+        servers_.push_back(sp.get());
         sys.spawn(std::move(sp));
+    }
+
+    // Crash orchestration: one absolute-tick event kills the instance
+    // and spawns the recovery process. Nothing is scheduled (and the
+    // commit timeline stays unallocated) when the knob is off.
+    sim::FaultPlan &faults = sys.faults();
+    if (faults.crashEnabled()) {
+        trackTimeline_ = true;
+        sys.eq().schedule(ticksFromMs(faults.config().crashAtMs),
+                          [this] { beginCrash(); });
     }
 }
 
 void
-OdbWorkload::recordCommit(db::TxnType type, Tick latency)
+OdbWorkload::beginCrash()
+{
+    os::System &sys = db_.sys();
+    sim::FaultPlan &faults = sys.faults();
+    ++faults.stats().crashes;
+    faults.stats().crashTick = sys.now();
+    // Every server dies: running/ready ones park at their next
+    // dispatch; blocked ones park when the pending I/O or lock wake
+    // dispatches them (crashed holders release their locks during
+    // rollback, so waiter chains unwind rather than deadlock).
+    for (ServerProcess *s : servers_)
+        s->requestCrash();
+    sys.spawn(std::make_unique<RecoveryProcess>(db_, *this));
+}
+
+void
+OdbWorkload::parkCrashed(ServerProcess *p)
+{
+    parked_.push_back(p);
+}
+
+void
+OdbWorkload::recoveryComplete()
+{
+    os::System &sys = db_.sys();
+    sys.faults().stats().recoveryEndTick = sys.now();
+    // Clear the flag on every server first: a server still waiting
+    // out a long disk read when recovery finishes simply resumes
+    // instead of parking after the instance is already back up.
+    for (ServerProcess *s : servers_)
+        s->clearCrash();
+    for (ServerProcess *s : parked_)
+        sys.wakeProcess(s, sys.kernelCosts().ioCompleteInstr);
+    parked_.clear();
+}
+
+std::uint64_t
+OdbWorkload::commitsBetween(Tick a, Tick b) const
+{
+    std::uint64_t n = 0;
+    const std::size_t lo =
+        static_cast<std::size_t>(a / timelineBucketTicks);
+    const std::size_t hi = std::min(
+        timeline_.size(),
+        static_cast<std::size_t>(b / timelineBucketTicks));
+    for (std::size_t i = lo; i < hi; ++i)
+        n += timeline_[i];
+    return n;
+}
+
+void
+OdbWorkload::recordCommit(db::TxnType type, Tick latency, Tick now)
 {
     const unsigned i = static_cast<unsigned>(type);
     ++counts_[i];
     const double ms = secondsFromTicks(latency) * 1e3;
     latency_[i].add(ms);
     latencyHist_.add(ms);
+    if (trackTimeline_) {
+        const auto b =
+            static_cast<std::size_t>(now / timelineBucketTicks);
+        if (timeline_.size() <= b)
+            timeline_.resize(b + 1, 0);
+        ++timeline_[b];
+    }
 }
 
 std::uint64_t

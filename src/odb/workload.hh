@@ -21,6 +21,8 @@
 namespace odbsim::odb
 {
 
+class ServerProcess;
+
 /** Client population and mix. */
 struct WorkloadConfig
 {
@@ -53,7 +55,23 @@ class OdbWorkload
     const std::vector<std::uint32_t> &homes() const { return homes_; }
 
     /** Called by ServerProcess at commit time. */
-    void recordCommit(db::TxnType type, Tick latency);
+    void recordCommit(db::TxnType type, Tick latency, Tick now);
+
+    /** @name Crash + recovery orchestration (inert without a crash
+     *  knob: nothing is scheduled and the timeline stays empty) @{ */
+    /** A crashed server rolled back and is about to block. */
+    void parkCrashed(ServerProcess *p);
+    /** Redo replay finished: record MTTR, revive every server. */
+    void recoveryComplete();
+    /** Servers currently parked behind the crash. */
+    std::size_t parkedCount() const { return parked_.size(); }
+    /**
+     * Commits whose completion fell in [@p a, @p b), from the 10 ms
+     * commit timeline kept on crash-enabled runs — how bench_faults
+     * reads the throughput dip and the post-recovery ramp.
+     */
+    std::uint64_t commitsBetween(Tick a, Tick b) const;
+    /** @} */
 
     /** @name Statistics @{ */
     std::uint64_t committed() const;
@@ -75,12 +93,25 @@ class OdbWorkload
     /** @} */
 
   private:
+    /** Commit-timeline bucket width (crash-enabled runs only). */
+    static constexpr Tick timelineBucketTicks = 10 * tickPerMs;
+
+    void beginCrash();
+
     db::Database &db_;
     WorkloadConfig cfg_;
     TxnPlanner planner_;
     Rng rng_;
     bool started_ = false;
     std::vector<std::uint32_t> homes_;
+    /** Spawned servers (owned by the System; observers here). */
+    std::vector<ServerProcess *> servers_;
+    /** Servers parked behind the instance crash. */
+    std::vector<ServerProcess *> parked_;
+    /** Commits per 10 ms of absolute sim time; only populated when
+     *  the fault plan schedules a crash (inertness contract). */
+    std::vector<std::uint32_t> timeline_;
+    bool trackTimeline_ = false;
 
     std::uint64_t counts_[db::numTxnTypes] = {};
     RunningStat latency_[db::numTxnTypes];

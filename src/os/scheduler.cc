@@ -25,7 +25,7 @@ Scheduler::makeReady(Process *p)
             return;
         }
     }
-    ready_.push_back(p);
+    ready_.pushBack(p);
 }
 
 bool
@@ -33,8 +33,9 @@ Scheduler::hasEligibleReady(unsigned cpu) const
 {
     // With default all-ones masks the first element matches, so this
     // costs the same as the !ready_.empty() check it generalizes.
-    for (const Process *p : ready_) {
-        if (eligible(p, cpu))
+    for (std::uint32_t n = ready_.head();
+         n != decltype(ready_)::npos; n = ready_.next(n)) {
+        if (eligible(ready_.at(n), cpu))
             return true;
     }
     return false;
@@ -135,7 +136,7 @@ Scheduler::chunkDone(unsigned cpu, NextAction::After after)
             hasEligibleReady(cpu)) {
             // Quantum expired and somebody is waiting: preempt.
             p->state_ = Process::State::Ready;
-            ready_.push_back(p);
+            ready_.pushBack(p);
             slot.lastRun = p;
             slot.current = nullptr;
             pickNext(cpu);
@@ -172,10 +173,11 @@ Scheduler::pickNext(unsigned cpu)
     CpuSlot &slot = slots_[cpu];
     // Frontmost ready process allowed on this CPU; with default
     // all-ones masks this is exactly the legacy front pop.
-    for (auto it = ready_.begin(); it != ready_.end(); ++it) {
-        if (eligible(*it, cpu)) {
-            Process *p = *it;
-            ready_.erase(it);
+    std::uint32_t prev = decltype(ready_)::npos;
+    for (std::uint32_t n = ready_.head();
+         n != decltype(ready_)::npos; prev = n, n = ready_.next(n)) {
+        if (eligible(ready_.at(n), cpu)) {
+            Process *p = ready_.erase(prev, n);
             dispatch(cpu, p);
             return;
         }

@@ -21,10 +21,10 @@
 #define ODBSIM_OS_SCHEDULER_HH
 
 #include <cstdint>
-#include <deque>
 #include <vector>
 
 #include "os/process.hh"
+#include "sim/pooled_fifo.hh"
 #include "sim/stats.hh"
 #include "sim/types.hh"
 
@@ -62,6 +62,8 @@ class Scheduler
         return ctxSwitches_.value();
     }
     Tick busyTicks(unsigned cpu) const { return slots_[cpu].busyTicks; }
+    /** Ready-queue pool growth events (zero-allocation gate hook). */
+    std::uint64_t readyAllocations() const { return ready_.allocations(); }
     void resetStats();
     /** @} */
 
@@ -95,7 +97,7 @@ class Scheduler
     System &sys_;
     Tick quantum_;
     std::vector<CpuSlot> slots_;
-    std::deque<Process *> ready_;
+    sim::PooledFifo<Process *> ready_;
     Counter ctxSwitches_;
 };
 

@@ -9,6 +9,7 @@ namespace odbsim::os
 
 System::System(const SystemConfig &cfg)
     : cfg_(cfg),
+      faults_(cfg.faults, cfg.seed ^ 0xfa17ULL),
       memsys_(cfg.numCpus / std::max(1u, cfg.threadsPerCore),
               cfg.hierarchy, cfg.bus, cfg.core.samplePeriod,
               cfg.topology),
@@ -25,6 +26,7 @@ System::System(const SystemConfig &cfg)
             i, cfg.core, memsys_, cfg.seed + i,
             i / cfg.threadsPerCore));
     }
+    disks_.bindFaults(&faults_);
 }
 
 Process *
@@ -121,6 +123,7 @@ System::beginMeasurement()
     memsys_.resetStats();
     disks_.resetStats();
     sched_.resetStats();
+    faults_.resetCounters();
     windowStart_ = now();
 }
 

@@ -21,6 +21,7 @@
 #include "os/process.hh"
 #include "os/scheduler.hh"
 #include "sim/event_queue.hh"
+#include "sim/fault.hh"
 #include "sim/rng.hh"
 #include "sim/types.hh"
 
@@ -54,6 +55,8 @@ struct SystemConfig
     KernelCosts kernel;
     /** Scheduler time slice. */
     Tick quantum = 20 * tickPerMs;
+    /** Fault-injection knobs (default: none; structurally inert). */
+    sim::FaultConfig faults;
     std::uint64_t seed = 0x0d'b51edeULL;
 };
 
@@ -125,6 +128,10 @@ class System
     DiskArray &disks() { return disks_; }
     const DiskArray &disks() const { return disks_; }
 
+    /** The run's fault plan (inert when no fault knobs are set). */
+    sim::FaultPlan &faults() { return faults_; }
+    const sim::FaultPlan &faults() const { return faults_; }
+
     const KernelCosts &kernelCosts() const { return cfg_.kernel; }
 
     Rng &rng() { return rng_; }
@@ -192,6 +199,9 @@ class System
   private:
     SystemConfig cfg_;
     EventQueue eq_;
+    /** Constructed before disks_ so drive-event binding can refer to
+     *  it; its RNG stream is independent of the workload's. */
+    sim::FaultPlan faults_;
     mem::MemorySystem memsys_;
     std::vector<std::unique_ptr<cpu::CpuCore>> cores_;
     DiskArray disks_;

@@ -1,0 +1,97 @@
+#include "sim/fault.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/logging.hh"
+
+namespace odbsim::sim
+{
+
+namespace
+{
+
+/** A probability knob must be a finite value in [0, 1]. */
+void
+checkProb(double v, const char *name)
+{
+    if (!std::isfinite(v) || v < 0.0 || v > 1.0)
+        odbsim_fatal("fault config: ", name, " must be in [0, 1], got ",
+                     v);
+}
+
+/** A latency/size knob must be finite and non-negative. */
+void
+checkNonNegative(double v, const char *name)
+{
+    if (!std::isfinite(v) || v < 0.0)
+        odbsim_fatal("fault config: ", name,
+                     " must be finite and >= 0, got ", v);
+}
+
+} // namespace
+
+FaultPlan::FaultPlan(const FaultConfig &cfg, std::uint64_t seed)
+    : cfg_(cfg), rng_(seed)
+{
+    checkProb(cfg.diskTransientProb, "diskTransientProb");
+    checkProb(cfg.txnAbortProb, "txnAbortProb");
+    checkNonNegative(cfg.diskRetryBackoffMs, "diskRetryBackoffMs");
+    checkNonNegative(cfg.diskRetryBackoffMaxMs, "diskRetryBackoffMaxMs");
+    checkNonNegative(cfg.lockWaitTimeoutMs, "lockWaitTimeoutMs");
+    checkNonNegative(cfg.clientRetryBackoffMs, "clientRetryBackoffMs");
+    checkNonNegative(cfg.crashAtMs, "crashAtMs");
+    checkNonNegative(cfg.recoveryRedoCapMb, "recoveryRedoCapMb");
+    if (!std::isfinite(cfg.recoveryReadChunkKb) ||
+        cfg.recoveryReadChunkKb <= 0.0) {
+        odbsim_fatal("fault config: recoveryReadChunkKb must be > 0, "
+                     "got ", cfg.recoveryReadChunkKb);
+    }
+    checkNonNegative(cfg.recoveryApplyInstrPerKb,
+                     "recoveryApplyInstrPerKb");
+    for (const DriveFaultEvent &ev : cfg.driveEvents) {
+        checkNonNegative(ev.atMs, "driveEvents[].atMs");
+        if (!std::isfinite(ev.degradeFactor) || ev.degradeFactor < 1.0)
+            odbsim_fatal("fault config: driveEvents[].degradeFactor "
+                         "must be >= 1, got ", ev.degradeFactor);
+    }
+    diskFaults_ = cfg.diskTransientProb > 0.0;
+    lockTimeoutTicks_ = ticksFromMs(cfg.lockWaitTimeoutMs);
+}
+
+Tick
+FaultPlan::diskBackoffTicks(unsigned attempt) const
+{
+    // Deterministic doubling backoff, capped: the controller's retry
+    // ladder is firmware, not chance.
+    double ms = cfg_.diskRetryBackoffMs;
+    for (unsigned i = 1; i < attempt; ++i)
+        ms *= 2.0;
+    ms = std::min(ms, cfg_.diskRetryBackoffMaxMs);
+    return ticksFromMs(ms);
+}
+
+Tick
+FaultPlan::drawClientBackoff()
+{
+    // Jittered uniformly in [0.5, 1.5) x the mean so retry storms
+    // decorrelate instead of thundering back in lockstep.
+    const double ms = cfg_.clientRetryBackoffMs * (0.5 + rng_.uniform());
+    return ticksFromMs(ms);
+}
+
+void
+FaultPlan::resetCounters()
+{
+    const Tick crash_tick = stats_.crashTick;
+    const Tick recovery_end = stats_.recoveryEndTick;
+    const std::uint64_t crashes = stats_.crashes;
+    const std::uint64_t redo = stats_.redoReplayedBytes;
+    stats_ = FaultStats{};
+    stats_.crashTick = crash_tick;
+    stats_.recoveryEndTick = recovery_end;
+    stats_.crashes = crashes;
+    stats_.redoReplayedBytes = redo;
+}
+
+} // namespace odbsim::sim

@@ -1,0 +1,189 @@
+/**
+ * @file
+ * Deterministic fault-injection plan.
+ *
+ * A FaultPlan is the single source of stochastic failure behaviour for
+ * a run: it owns a dedicated Rng stream (forked from nothing the
+ * healthy run consumes) and an absolute-tick schedule of drive events,
+ * and every injected fault — transient I/O errors, degraded drives,
+ * whole-drive failures, spontaneous transaction aborts, lock-wait
+ * timeouts, and a mid-run instance crash — is drawn from it. Because
+ * the plan's stream is separate from the workload's, and every
+ * injection site is gated on a cheap enabled flag, a default
+ * (fault-free) plan is *structurally inert*: it draws no random
+ * numbers, schedules no events, and allocates nothing, so a run with
+ * faults compiled in but disabled is bit-identical to one built
+ * before the subsystem existed. docs/FAULTS.md states this contract;
+ * tests/core/test_faults.cc enforces it whole-run.
+ *
+ * Knob validation happens at construction: out-of-range probabilities
+ * and negative/NaN latencies fail fast through sim::logging instead
+ * of silently corrupting a multi-hour sweep.
+ */
+
+#ifndef ODBSIM_SIM_FAULT_HH
+#define ODBSIM_SIM_FAULT_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/rng.hh"
+#include "sim/types.hh"
+
+namespace odbsim::sim
+{
+
+/**
+ * One scheduled drive event: at an absolute run time, a data drive
+ * either degrades (service-time multiplier from then on) or fails
+ * outright (the array re-routes its traffic to surviving drives).
+ */
+struct DriveFaultEvent
+{
+    double atMs = 0.0;         ///< Absolute sim time of the event.
+    unsigned drive = 0;        ///< Data-drive index in the array.
+    double degradeFactor = 1.0; ///< Service-time multiplier (>= 1).
+    bool fail = false;         ///< Whole-drive failure (re-route).
+};
+
+/** Fault-injection knobs. The default is "no faults anywhere". */
+struct FaultConfig
+{
+    /** @name Disk faults @{ */
+    /** Probability a disk request hits a transient medium error and
+     *  must be retried after controller backoff. */
+    double diskTransientProb = 0.0;
+    /** Retries before the controller gives up recovering the sector
+     *  the fast way and completes via spare remap (latency-only
+     *  degradation: the request still succeeds). */
+    unsigned diskMaxRetries = 4;
+    /** First retry backoff, ms; doubles per attempt up to the cap. */
+    double diskRetryBackoffMs = 0.3;
+    double diskRetryBackoffMaxMs = 5.0;
+    /** Scheduled degrade/fail events on specific data drives. */
+    std::vector<DriveFaultEvent> driveEvents;
+    /** @} */
+
+    /** @name Transaction faults @{ */
+    /** Lock-wait timeout, ms; 0 disables timeouts. A timed-out waiter
+     *  aborts its transaction and retries after client backoff. */
+    double lockWaitTimeoutMs = 0.0;
+    /** Probability a transaction spontaneously aborts mid-replay
+     *  (constraint violation, client cancel), drawn at plan time. */
+    double txnAbortProb = 0.0;
+    /** Mean client retry backoff after an abort, ms (jittered). */
+    double clientRetryBackoffMs = 1.0;
+    /** @} */
+
+    /** @name Crash + recovery @{ */
+    /** Absolute sim time of the instance crash, ms; 0 disables. */
+    double crashAtMs = 0.0;
+    /** Redo-log read chunk during recovery, KB. */
+    double recoveryReadChunkKb = 512.0;
+    /** CPU cost of applying redo, instructions per KB. */
+    double recoveryApplyInstrPerKb = 8000.0;
+    /** Cap on redo replayed at recovery, MB (checkpointing bounds the
+     *  window; the cap models the distance to the last checkpoint). */
+    double recoveryRedoCapMb = 64.0;
+    /** @} */
+};
+
+/** Injection counters (reset at beginMeasurement; crash/recovery
+ *  tick marks survive resets so MTTR spans window boundaries). */
+struct FaultStats
+{
+    std::uint64_t diskTransientErrors = 0;
+    std::uint64_t diskRetriesExhausted = 0;
+    std::uint64_t driveFailures = 0;
+    std::uint64_t reroutedRequests = 0;
+    std::uint64_t lockTimeouts = 0;
+    std::uint64_t txnAborts = 0;
+    std::uint64_t txnRetries = 0;
+    std::uint64_t crashes = 0;
+    Tick crashTick = 0;
+    Tick recoveryEndTick = 0;
+    std::uint64_t redoReplayedBytes = 0;
+};
+
+/**
+ * The per-run fault plan: validated config + dedicated RNG stream +
+ * injection counters. Components hold a FaultPlan* and consult it at
+ * their injection sites; a default-constructed plan answers "no" to
+ * every enabled flag without consuming randomness.
+ */
+class FaultPlan
+{
+  public:
+    /** Inert plan: no faults, no RNG draws, no events. */
+    FaultPlan() = default;
+
+    /**
+     * Validating constructor. Rejects NaN/negative latencies,
+     * out-of-range probabilities, degrade factors below 1 and
+     * out-of-range drive indices (checked later against the array)
+     * via odbsim_fatal.
+     */
+    FaultPlan(const FaultConfig &cfg, std::uint64_t seed);
+
+    const FaultConfig &config() const { return cfg_; }
+
+    /** @name Enabled flags (cheap, branch-predictable gates) @{ */
+    bool diskFaultsEnabled() const { return diskFaults_; }
+    bool driveEventsEnabled() const { return !cfg_.driveEvents.empty(); }
+    bool lockTimeoutEnabled() const { return cfg_.lockWaitTimeoutMs > 0.0; }
+    bool txnAbortsEnabled() const { return cfg_.txnAbortProb > 0.0; }
+    bool crashEnabled() const { return cfg_.crashAtMs > 0.0; }
+    bool
+    anyEnabled() const
+    {
+        return diskFaults_ || driveEventsEnabled() ||
+               lockTimeoutEnabled() || txnAbortsEnabled() ||
+               crashEnabled();
+    }
+    /** @} */
+
+    /** @name Draws (only legal when the matching gate is enabled) @{ */
+    /** Does this disk request hit a transient error? */
+    bool drawDiskTransient() { return rng_.chance(cfg_.diskTransientProb); }
+
+    /** Controller backoff before retry @p attempt (1-based):
+     *  deterministic doubling, capped. */
+    Tick diskBackoffTicks(unsigned attempt) const;
+
+    /** Does this transaction spontaneously abort? */
+    bool drawTxnAbort() { return rng_.chance(cfg_.txnAbortProb); }
+
+    /** Replay position (action index in [0, n)) of the abort. */
+    std::uint32_t
+    drawAbortPoint(std::uint32_t n)
+    {
+        return n ? static_cast<std::uint32_t>(rng_.below(n)) : 0;
+    }
+
+    /** Jittered client backoff before retrying an aborted txn. */
+    Tick drawClientBackoff();
+    /** @} */
+
+    FaultStats &stats() { return stats_; }
+    const FaultStats &stats() const { return stats_; }
+
+    Tick lockWaitTimeoutTicks() const { return lockTimeoutTicks_; }
+
+    /**
+     * Zero the injection counters at a measurement boundary. The
+     * crash/recovery tick marks are preserved: MTTR is a whole-run
+     * quantity and the crash may predate the window.
+     */
+    void resetCounters();
+
+  private:
+    FaultConfig cfg_;
+    Rng rng_{0};
+    FaultStats stats_;
+    bool diskFaults_ = false;
+    Tick lockTimeoutTicks_ = 0;
+};
+
+} // namespace odbsim::sim
+
+#endif // ODBSIM_SIM_FAULT_HH

@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Whole-run fault-injection contract tests (docs/FAULTS.md):
+ *
+ *  - *Inertness*: with the subsystem compiled in but every knob at its
+ *    default, a full run fires zero faults, and repeated runs are
+ *    bit-identical down to the event count — the plan draws nothing,
+ *    schedules nothing, and perturbs nothing. (The cross-version half
+ *    of the contract — that these runs also match a build without the
+ *    subsystem — is enforced by the golden study CSVs in
+ *    scripts/bench_smoke.sh, which predate it.)
+ *  - *Determinism*: faulty runs are a pure function of (config, seed),
+ *    fault counters included.
+ *  - *Crash recovery*: a mid-run instance kill replays redo, reports a
+ *    positive MTTR, and the workload keeps committing afterwards.
+ *
+ * Its own ctest binary: each case is a full (if short) simulation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/experiment.hh"
+
+namespace
+{
+
+using namespace odbsim;
+using namespace odbsim::core;
+
+RunKnobs
+quickKnobs()
+{
+    RunKnobs knobs;
+    knobs.warmup = ticksFromSeconds(0.05);
+    knobs.measure = ticksFromSeconds(0.2);
+    return knobs;
+}
+
+OltpConfiguration
+smallBox()
+{
+    OltpConfiguration cfg;
+    cfg.warehouses = 10;
+    cfg.processors = 2;
+    return cfg;
+}
+
+void
+expectBitIdentical(const RunResult &a, const RunResult &b)
+{
+    // The event count is the strongest whole-run fingerprint: two
+    // simulations that fired the same number of events in the same
+    // windows and produced identical metrics took the same path.
+    EXPECT_EQ(a.eventsFired, b.eventsFired);
+    EXPECT_EQ(a.txnsCommitted, b.txnsCommitted);
+    EXPECT_EQ(a.tps, b.tps);
+    EXPECT_EQ(a.cpuUtil, b.cpuUtil);
+    EXPECT_EQ(a.ipx, b.ipx);
+    EXPECT_EQ(a.cpi, b.cpi);
+    EXPECT_EQ(a.mpi, b.mpi);
+    EXPECT_EQ(a.ctxPerTxn, b.ctxPerTxn);
+    EXPECT_EQ(a.avgLatencyMs, b.avgLatencyMs);
+    EXPECT_EQ(a.p95LatencyMs, b.p95LatencyMs);
+    EXPECT_EQ(a.bufferHitRatio, b.bufferHitRatio);
+    EXPECT_EQ(a.avgDiskUtil, b.avgDiskUtil);
+    EXPECT_EQ(a.diskReadLatencyMs, b.diskReadLatencyMs);
+    EXPECT_EQ(a.txnAborts, b.txnAborts);
+    EXPECT_EQ(a.txnRetries, b.txnRetries);
+    EXPECT_EQ(a.lockTimeouts, b.lockTimeouts);
+    EXPECT_EQ(a.diskTransientErrors, b.diskTransientErrors);
+    EXPECT_EQ(a.driveFailures, b.driveFailures);
+    EXPECT_EQ(a.redoReplayedBytes, b.redoReplayedBytes);
+    EXPECT_EQ(a.mttrMs, b.mttrMs);
+}
+
+void
+expectNoFaultsFired(const RunResult &r)
+{
+    EXPECT_EQ(r.txnAborts, 0u);
+    EXPECT_EQ(r.txnRetries, 0u);
+    EXPECT_EQ(r.lockTimeouts, 0u);
+    EXPECT_EQ(r.diskTransientErrors, 0u);
+    EXPECT_EQ(r.driveFailures, 0u);
+    EXPECT_EQ(r.redoReplayedBytes, 0u);
+    EXPECT_EQ(r.mttrMs, 0.0);
+    EXPECT_EQ(r.tpsPreCrash, 0.0);
+    EXPECT_EQ(r.tpsPostRecovery, 0.0);
+}
+
+TEST(FaultContract, DefaultPlanFiresNothingAndRunsAreBitIdentical)
+{
+    const RunResult a = ExperimentRunner::run(smallBox(), quickKnobs());
+    const RunResult b = ExperimentRunner::run(smallBox(), quickKnobs());
+    EXPECT_GT(a.txnsCommitted, 0u);
+    expectNoFaultsFired(a);
+    expectBitIdentical(a, b);
+}
+
+TEST(FaultContract, FaultyRunDiffersAndReportsItsInjections)
+{
+    RunKnobs faulty = quickKnobs();
+    faulty.faults.diskTransientProb = 0.2;
+    faulty.faults.txnAbortProb = 0.05;
+    faulty.faults.lockWaitTimeoutMs = 5.0;
+    faulty.faults.clientRetryBackoffMs = 0.5;
+
+    const RunResult base = ExperimentRunner::run(smallBox(), quickKnobs());
+    const RunResult r = ExperimentRunner::run(smallBox(), faulty);
+
+    EXPECT_GT(r.txnsCommitted, 0u); // Degraded, not dead.
+    EXPECT_GT(r.txnAborts, 0u);
+    EXPECT_GT(r.txnRetries, 0u);
+    EXPECT_GT(r.diskTransientErrors, 0u);
+    // Every abort schedules a retry (crash parking also counts as an
+    // abort+retry, but this run never crashes).
+    EXPECT_EQ(r.txnRetries, r.txnAborts);
+    // Wasted replay work and retry backoff cost real throughput.
+    EXPECT_NE(r.tps, base.tps);
+    EXPECT_NE(r.eventsFired, base.eventsFired);
+}
+
+TEST(FaultContract, FaultyRunsAreSeedDeterministic)
+{
+    RunKnobs faulty = quickKnobs();
+    faulty.faults.diskTransientProb = 0.1;
+    faulty.faults.txnAbortProb = 0.05;
+    faulty.faults.lockWaitTimeoutMs = 10.0;
+
+    const RunResult a = ExperimentRunner::run(smallBox(), faulty);
+    const RunResult b = ExperimentRunner::run(smallBox(), faulty);
+    EXPECT_GT(a.txnAborts, 0u);
+    expectBitIdentical(a, b);
+}
+
+TEST(FaultContract, CrashRecoveryReplaysRedoAndResumes)
+{
+    RunKnobs knobs = quickKnobs();
+    // Warm-up ends at 50 ms + 10 warehouses * 4 ms = 90 ms; the kill
+    // at 150 ms lands mid-measurement with room to recover before the
+    // run ends at 290 ms.
+    knobs.faults.crashAtMs = 150.0;
+    knobs.faults.recoveryRedoCapMb = 1.0;
+
+    const RunResult r = ExperimentRunner::run(smallBox(), knobs);
+    EXPECT_GT(r.mttrMs, 0.0);
+    EXPECT_GT(r.redoReplayedBytes, 0u);
+    EXPECT_GT(r.tpsPreCrash, 0.0);
+    EXPECT_GT(r.txnsCommitted, 0u);
+
+    // Determinism holds across the crash/recovery path too.
+    const RunResult again = ExperimentRunner::run(smallBox(), knobs);
+    expectBitIdentical(r, again);
+}
+
+} // namespace

@@ -175,6 +175,81 @@ TEST(ZeroAlloc, ReplaySteadyStateCountersStayFlat)
 }
 
 /**
+ * A full checkpoint cycle rides the same pooled queues as demand
+ * traffic: once DBWR's urgent/checkpoint FIFOs and the per-drive disk
+ * queues reach their high-water marks, continued dirtying, aging,
+ * write-back and checkpoint drains never grow a pool.
+ */
+TEST(ZeroAlloc, CheckpointCycleKeepsWriterAndDiskPoolsFlat)
+{
+    db::DatabaseConfig dbcfg = test::miniDbConfig(2);
+    // Age blocks out fast enough that the run below covers many full
+    // dirty -> age -> write-back -> checkpoint-advance cycles.
+    dbcfg.dbwr.checkpointAge = 20 * tickPerMs;
+    test::MiniOdb rig(test::miniSystemConfig(2), dbcfg, 8);
+    rig.sys.runFor(300 * tickPerMs);
+
+    const std::uint64_t dbwrAllocs = rig.db.dbwr().queueAllocations();
+    const std::uint64_t diskAllocs = rig.sys.disks().queueAllocations();
+    const std::uint64_t writesBefore = rig.sys.disks().dataWrites();
+    const std::uint64_t before = rig.workload.committed();
+
+    rig.sys.runFor(300 * tickPerMs);
+
+    EXPECT_GT(rig.workload.committed(), before);
+    // Write-back really happened (the checkpoint queue drained to
+    // disk), yet neither the DBWR FIFOs nor any drive queue grew.
+    EXPECT_GT(rig.sys.disks().dataWrites(), writesBefore);
+    EXPECT_EQ(rig.db.dbwr().queueAllocations(), dbwrAllocs);
+    EXPECT_EQ(rig.sys.disks().queueAllocations(), diskAllocs);
+}
+
+/**
+ * The inertness contract, at the allocation level: with the fault
+ * subsystem compiled in but every knob at its default, a steady-state
+ * run must stay exactly as allocation-free as before the subsystem
+ * existed — the inert plan gates every injection site and never draws,
+ * schedules or allocates.
+ */
+TEST(ZeroAlloc, FaultFreeRunWithFaultsCompiledInStaysFlat)
+{
+    db::DatabaseConfig dbcfg = test::miniDbConfig(2);
+    // Short aging so the checkpoint queue reaches its high-water
+    // population inside the warm-up window (the 5 s default would
+    // still be filling, not cycling, at this run length).
+    dbcfg.dbwr.checkpointAge = 20 * tickPerMs;
+    test::MiniOdb rig(test::miniSystemConfig(2), dbcfg, 8);
+    ASSERT_FALSE(rig.sys.faults().anyEnabled());
+    rig.sys.runFor(300 * tickPerMs);
+
+    const std::uint64_t bufAllocs = rig.db.bufferCache().mapAllocations();
+    const std::uint64_t lockAllocs = rig.db.locks().tableAllocations();
+    const std::uint64_t schemaAllocs =
+        rig.db.schema().stateAllocations();
+    const std::uint64_t dbwrAllocs = rig.db.dbwr().queueAllocations();
+    const std::uint64_t diskAllocs = rig.sys.disks().queueAllocations();
+    const std::uint64_t before = rig.workload.committed();
+
+    rig.sys.runFor(300 * tickPerMs);
+
+    EXPECT_GT(rig.workload.committed(), before);
+    EXPECT_EQ(rig.db.bufferCache().mapAllocations(), bufAllocs);
+    EXPECT_EQ(rig.db.locks().tableAllocations(), lockAllocs);
+    EXPECT_EQ(rig.db.schema().stateAllocations(), schemaAllocs);
+    EXPECT_EQ(rig.db.dbwr().queueAllocations(), dbwrAllocs);
+    EXPECT_EQ(rig.sys.disks().queueAllocations(), diskAllocs);
+
+    // And the plan never fired: every counter is still zero.
+    const sim::FaultStats &fs = rig.sys.faults().stats();
+    EXPECT_EQ(fs.txnAborts, 0u);
+    EXPECT_EQ(fs.txnRetries, 0u);
+    EXPECT_EQ(fs.lockTimeouts, 0u);
+    EXPECT_EQ(fs.diskTransientErrors, 0u);
+    EXPECT_EQ(fs.driveFailures, 0u);
+    EXPECT_EQ(fs.crashes, 0u);
+}
+
+/**
  * The buffer-cache index can never grow after construction, even from
  * a cold cache: residency is bounded by the frame count the map was
  * reserved for.

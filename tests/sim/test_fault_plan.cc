@@ -1,0 +1,192 @@
+/**
+ * @file
+ * Tests for sim::FaultPlan: construction-time knob validation (bad
+ * probabilities and latencies fail fast), the inertness of the default
+ * plan, deterministic controller backoff, and the measurement-boundary
+ * counter-reset semantics.
+ */
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "sim/fault.hh"
+
+namespace
+{
+
+using namespace odbsim;
+using sim::FaultConfig;
+using sim::FaultPlan;
+
+TEST(FaultPlan, DefaultPlanIsInert)
+{
+    const FaultPlan p;
+    EXPECT_FALSE(p.diskFaultsEnabled());
+    EXPECT_FALSE(p.driveEventsEnabled());
+    EXPECT_FALSE(p.lockTimeoutEnabled());
+    EXPECT_FALSE(p.txnAbortsEnabled());
+    EXPECT_FALSE(p.crashEnabled());
+    EXPECT_FALSE(p.anyEnabled());
+    EXPECT_EQ(p.lockWaitTimeoutTicks(), 0u);
+}
+
+TEST(FaultPlan, ValidatedEmptyConfigIsStillInert)
+{
+    // Passing an all-default config through the validating constructor
+    // must behave exactly like the default plan.
+    const FaultPlan p(FaultConfig{}, 42);
+    EXPECT_FALSE(p.anyEnabled());
+}
+
+TEST(FaultPlan, EnabledFlagsFollowTheKnobs)
+{
+    FaultConfig fc;
+    fc.diskTransientProb = 0.1;
+    fc.lockWaitTimeoutMs = 25.0;
+    FaultPlan p(fc, 1);
+    EXPECT_TRUE(p.diskFaultsEnabled());
+    EXPECT_TRUE(p.lockTimeoutEnabled());
+    EXPECT_FALSE(p.txnAbortsEnabled());
+    EXPECT_FALSE(p.crashEnabled());
+    EXPECT_TRUE(p.anyEnabled());
+    EXPECT_EQ(p.lockWaitTimeoutTicks(), ticksFromMs(25.0));
+}
+
+TEST(FaultPlanDeathTest, RejectsOutOfRangeProbability)
+{
+    FaultConfig fc;
+    fc.diskTransientProb = 1.5;
+    EXPECT_EXIT({ FaultPlan p(fc, 1); },
+                ::testing::ExitedWithCode(1), "diskTransientProb");
+}
+
+TEST(FaultPlanDeathTest, RejectsNanProbability)
+{
+    FaultConfig fc;
+    fc.txnAbortProb = std::numeric_limits<double>::quiet_NaN();
+    EXPECT_EXIT({ FaultPlan p(fc, 1); },
+                ::testing::ExitedWithCode(1), "txnAbortProb");
+}
+
+TEST(FaultPlanDeathTest, RejectsNegativeLatency)
+{
+    FaultConfig fc;
+    fc.diskRetryBackoffMs = -0.5;
+    EXPECT_EXIT({ FaultPlan p(fc, 1); },
+                ::testing::ExitedWithCode(1), "diskRetryBackoffMs");
+}
+
+TEST(FaultPlanDeathTest, RejectsNegativeTimeout)
+{
+    FaultConfig fc;
+    fc.lockWaitTimeoutMs = -1.0;
+    EXPECT_EXIT({ FaultPlan p(fc, 1); },
+                ::testing::ExitedWithCode(1), "lockWaitTimeoutMs");
+}
+
+TEST(FaultPlanDeathTest, RejectsZeroRecoveryChunk)
+{
+    FaultConfig fc;
+    fc.recoveryReadChunkKb = 0.0;
+    EXPECT_EXIT({ FaultPlan p(fc, 1); },
+                ::testing::ExitedWithCode(1), "recoveryReadChunkKb");
+}
+
+TEST(FaultPlanDeathTest, RejectsDegradeFactorBelowOne)
+{
+    FaultConfig fc;
+    sim::DriveFaultEvent ev;
+    ev.degradeFactor = 0.5;
+    fc.driveEvents.push_back(ev);
+    EXPECT_EXIT({ FaultPlan p(fc, 1); },
+                ::testing::ExitedWithCode(1), "degradeFactor");
+}
+
+TEST(FaultPlanDeathTest, RejectsNegativeDriveEventTime)
+{
+    FaultConfig fc;
+    sim::DriveFaultEvent ev;
+    ev.atMs = -2.0;
+    fc.driveEvents.push_back(ev);
+    EXPECT_EXIT({ FaultPlan p(fc, 1); },
+                ::testing::ExitedWithCode(1), "atMs");
+}
+
+TEST(FaultPlan, BackoffDoublesAndCaps)
+{
+    FaultConfig fc;
+    fc.diskTransientProb = 0.5;
+    fc.diskRetryBackoffMs = 0.3;
+    fc.diskRetryBackoffMaxMs = 1.0;
+    const FaultPlan p(fc, 9);
+    EXPECT_EQ(p.diskBackoffTicks(1), ticksFromMs(0.3));
+    EXPECT_EQ(p.diskBackoffTicks(2), ticksFromMs(0.6));
+    EXPECT_EQ(p.diskBackoffTicks(3), ticksFromMs(1.0)); // Capped.
+    EXPECT_EQ(p.diskBackoffTicks(7), ticksFromMs(1.0));
+}
+
+TEST(FaultPlan, BackoffIsDeterministic)
+{
+    FaultConfig fc;
+    fc.diskTransientProb = 0.5;
+    const FaultPlan a(fc, 7);
+    const FaultPlan b(fc, 8); // Backoff is seed-independent.
+    for (unsigned attempt = 1; attempt <= 6; ++attempt)
+        EXPECT_EQ(a.diskBackoffTicks(attempt),
+                  b.diskBackoffTicks(attempt));
+}
+
+TEST(FaultPlan, DrawsAreSeedDeterministic)
+{
+    FaultConfig fc;
+    fc.txnAbortProb = 0.3;
+    fc.clientRetryBackoffMs = 2.0;
+    FaultPlan a(fc, 123);
+    FaultPlan b(fc, 123);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_EQ(a.drawTxnAbort(), b.drawTxnAbort());
+        EXPECT_EQ(a.drawClientBackoff(), b.drawClientBackoff());
+        EXPECT_EQ(a.drawAbortPoint(57), b.drawAbortPoint(57));
+    }
+}
+
+TEST(FaultPlan, ClientBackoffIsJitteredAroundTheMean)
+{
+    FaultConfig fc;
+    fc.txnAbortProb = 0.1;
+    fc.clientRetryBackoffMs = 2.0;
+    FaultPlan p(fc, 5);
+    for (int i = 0; i < 200; ++i) {
+        const Tick t = p.drawClientBackoff();
+        EXPECT_GE(t, ticksFromMs(1.0));
+        EXPECT_LE(t, ticksFromMs(3.0));
+    }
+}
+
+TEST(FaultPlan, ResetCountersPreservesCrashMarks)
+{
+    FaultConfig fc;
+    fc.crashAtMs = 10.0;
+    FaultPlan p(fc, 3);
+    p.stats().txnAborts = 5;
+    p.stats().lockTimeouts = 2;
+    p.stats().diskTransientErrors = 7;
+    p.stats().crashes = 1;
+    p.stats().crashTick = 1234;
+    p.stats().recoveryEndTick = 5678;
+    p.stats().redoReplayedBytes = 1 << 20;
+
+    p.resetCounters();
+
+    EXPECT_EQ(p.stats().txnAborts, 0u);
+    EXPECT_EQ(p.stats().lockTimeouts, 0u);
+    EXPECT_EQ(p.stats().diskTransientErrors, 0u);
+    // MTTR spans measurement boundaries: the marks survive.
+    EXPECT_EQ(p.stats().crashes, 1u);
+    EXPECT_EQ(p.stats().crashTick, 1234u);
+    EXPECT_EQ(p.stats().recoveryEndTick, 5678u);
+    EXPECT_EQ(p.stats().redoReplayedBytes, 1u << 20);
+}
+
+} // namespace

@@ -57,8 +57,15 @@ struct MiniOdb
 
     explicit MiniOdb(unsigned cpus = 2, unsigned warehouses = 2,
                      unsigned clients = 4)
-        : sys(miniSystemConfig(cpus)),
-          db(sys, miniDbConfig(warehouses)), workload(db, [clients] {
+        : MiniOdb(miniSystemConfig(cpus), miniDbConfig(warehouses),
+                  clients)
+    {}
+
+    /** Full-control variant: bring your own system and database
+     *  configs (fault plans, checkpoint ages, disk shapes). */
+    MiniOdb(const os::SystemConfig &syscfg,
+            const db::DatabaseConfig &dbcfg, unsigned clients)
+        : sys(syscfg), db(sys, dbcfg), workload(db, [clients] {
               odb::WorkloadConfig w;
               w.clients = clients;
               w.seed = 7;
