@@ -15,9 +15,10 @@
 #include "support/bench_common.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace odbsim;
+    bench::parseArgs(argc, argv);
     bench::banner("Ablation: SMP vs CMP",
                   "Shared on-die L3 versus private L3s (Sections "
                   "3.2.2, 5.2, 7)");

@@ -12,9 +12,10 @@
 #include "support/bench_common.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace odbsim;
+    bench::parseArgs(argc, argv);
     bench::banner("Ablation: disk bandwidth",
                   "Scaled-region sensitivity to spindle count "
                   "(Section 6.3)");

@@ -13,9 +13,10 @@
 #include "support/bench_common.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace odbsim;
+    bench::parseArgs(argc, argv);
     bench::banner("Ablation: L3 capacity",
                   "Pivot sensitivity to L3 size (Section 6.3)");
 

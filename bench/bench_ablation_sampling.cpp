@@ -11,9 +11,10 @@
 #include "support/bench_common.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace odbsim;
+    bench::parseArgs(argc, argv);
     bench::banner("Ablation: set-sampling factor",
                   "Metric stability vs the cache-model sampling factor");
 

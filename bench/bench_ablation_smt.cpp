@@ -15,9 +15,10 @@
 #include "support/bench_common.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace odbsim;
+    bench::parseArgs(argc, argv);
     bench::banner("Ablation: Hyper-Threading",
                   "The study's machine with HT enabled (Section 3.3)");
 

@@ -13,6 +13,7 @@
 #include "mem/cache.hh"
 #include "sim/event_queue.hh"
 #include "sim/rng.hh"
+#include "support/bench_common.hh"
 
 namespace
 {
@@ -124,4 +125,15 @@ BENCHMARK(BM_RngNext);
 
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    // Shared bench knobs first (--jobs/--shards/... are not google-
+    // benchmark flags, so they must be consumed before Initialize —
+    // and unrecognized leftovers are tolerated, not fatal).
+    odbsim::bench::parseArgs(argc, argv);
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

@@ -13,9 +13,10 @@
 #include "support/bench_common.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace odbsim;
+    bench::parseArgs(argc, argv);
     using analysis::TextTable;
     bench::banner("Table 1", "Number of clients at 90% CPU utilization");
 

@@ -36,6 +36,23 @@ bool g_profile = []() {
     return env && *env && std::strcmp(env, "0") != 0;
 }();
 
+/** Engine shard count; seeded from ODBSIM_SHARDS. */
+unsigned g_shards = []() -> unsigned {
+    const char *env = std::getenv("ODBSIM_SHARDS");
+    if (!env)
+        return 1;
+    const long v = std::strtol(env, nullptr, 10);
+    return v >= 1 ? static_cast<unsigned>(v) : 1;
+}();
+
+/** Event-queue kind; seeded from ODBSIM_EVENT_QUEUE. */
+EventQueueKind g_eq_kind = []() {
+    const char *env = std::getenv("ODBSIM_EVENT_QUEUE");
+    if (env && std::strcmp(env, "heap") == 0)
+        return EventQueueKind::heap;
+    return EventQueueKind::wheel;
+}();
+
 std::string
 cachePath(core::MachineKind machine)
 {
@@ -104,6 +121,28 @@ parseArgs(int argc, char **argv)
             g_jobs = static_cast<unsigned>(v);
         } else if (std::strcmp(argv[i], "--profile") == 0) {
             g_profile = true;
+        } else if (std::strcmp(argv[i], "--shards") == 0 &&
+                   i + 1 < argc) {
+            const long v = std::strtol(argv[++i], nullptr, 10);
+            if (v < 1) {
+                std::fprintf(stderr,
+                             "[bench] ignoring non-positive --shards\n");
+                continue;
+            }
+            g_shards = static_cast<unsigned>(v);
+        } else if (std::strcmp(argv[i], "--event-queue") == 0 &&
+                   i + 1 < argc) {
+            const char *kind = argv[++i];
+            if (std::strcmp(kind, "heap") == 0) {
+                g_eq_kind = EventQueueKind::heap;
+            } else if (std::strcmp(kind, "wheel") == 0) {
+                g_eq_kind = EventQueueKind::wheel;
+            } else {
+                std::fprintf(stderr,
+                             "[bench] unknown --event-queue '%s' "
+                             "(expected wheel|heap)\n",
+                             kind);
+            }
         }
     }
 }
@@ -118,6 +157,25 @@ bool
 profileEnabled()
 {
     return g_profile;
+}
+
+unsigned
+dbShards()
+{
+    return g_shards;
+}
+
+EventQueueKind
+eventQueueKind()
+{
+    return g_eq_kind;
+}
+
+void
+applyEngineKnobs(core::RunKnobs &knobs)
+{
+    knobs.dbShards = g_shards;
+    knobs.eventQueue = g_eq_kind;
 }
 
 void
@@ -136,7 +194,13 @@ core::StudyResult
 sharedStudy(core::MachineKind machine)
 {
     const std::string path = cachePath(machine);
-    const bool no_cache = std::getenv("ODBSIM_NO_CACHE") != nullptr;
+    // Non-default engine knobs must never read or write the shared
+    // cache: the committed goldens are defined by the K=1 / wheel
+    // configuration (bit-identical to the pre-shard engine).
+    const bool default_engine =
+        g_shards == 1 && g_eq_kind == EventQueueKind::wheel;
+    const bool no_cache =
+        std::getenv("ODBSIM_NO_CACHE") != nullptr || !default_engine;
     core::StudyResult study;
     if (!no_cache && loadStudy(path, study)) {
         std::fprintf(stderr, "[bench] loaded cached study from %s\n",
@@ -155,6 +219,7 @@ sharedStudy(core::MachineKind machine)
     cfg.warehouses = figureWarehouseGrid();
     cfg.machine = machine;
     cfg.jobs = g_jobs;
+    applyEngineKnobs(cfg.knobs);
     // A surviving profile sidecar from an earlier --profile run turns
     // into measured longest-first costs (scheduling only — the study
     // itself is bit-identical either way).

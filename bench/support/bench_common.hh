@@ -22,16 +22,28 @@ namespace odbsim::bench
 std::vector<unsigned> figureWarehouseGrid();
 
 /**
- * Parse the shared bench command line: `--jobs N` (or `-j N`) selects
- * the worker count used to measure study grid points (0 = one worker
- * per hardware thread, 1 = serial; default), and `--profile` prints
- * per-grid-point wall time and events fired as points complete (and a
- * study total), plus writes a `*_profile.csv` sidecar next to the
- * study cache. The `ODBSIM_JOBS` and `ODBSIM_PROFILE` environment
- * variables provide the same knobs for benches driven without flags;
- * flags win. Unknown arguments are ignored so bench-specific flags can
- * coexist. Results are seed-deterministic regardless of the job count
- * (profiling only observes, never perturbs, the simulation).
+ * Parse the shared bench command line — the single home of the
+ * CLI/env parsing every bench main shares:
+ *
+ *  - `--jobs N` / `-j N` (env `ODBSIM_JOBS`): worker count used to
+ *    measure study grid points (0 = one worker per hardware thread,
+ *    1 = serial; default);
+ *  - `--profile` (env `ODBSIM_PROFILE`): print per-grid-point wall
+ *    time and events fired as points complete (and a study total),
+ *    plus write a `*_profile.csv` sidecar next to the study cache;
+ *  - `--shards K` (env `ODBSIM_SHARDS`): engine shard count for the
+ *    lock manager and buffer cache (power of two; default 1, the
+ *    paper-exact layout);
+ *  - `--event-queue wheel|heap` (env `ODBSIM_EVENT_QUEUE`): event
+ *    queue ordering structure (default wheel; heap is the
+ *    bit-identical oracle).
+ *
+ * Flags win over the environment. Unknown arguments are ignored so
+ * bench-specific flags can coexist. Results are seed-deterministic
+ * regardless of the job count (profiling only observes, never
+ * perturbs, the simulation). Studies measured with non-default
+ * engine knobs bypass the shared CSV cache so the committed goldens
+ * can never be poisoned by an experimental configuration.
  */
 void parseArgs(int argc, char **argv);
 
@@ -40,6 +52,15 @@ unsigned studyJobs();
 
 /** True if --profile / ODBSIM_PROFILE=1 requested per-point timing. */
 bool profileEnabled();
+
+/** Engine shard count selected by --shards/ODBSIM_SHARDS (default 1). */
+unsigned dbShards();
+
+/** Event-queue kind selected by --event-queue/ODBSIM_EVENT_QUEUE. */
+EventQueueKind eventQueueKind();
+
+/** Apply the parsed engine knobs (shards, event queue) to @p knobs. */
+void applyEngineKnobs(core::RunKnobs &knobs);
 
 /**
  * Obtain the full characterization study for @p machine, from the CSV

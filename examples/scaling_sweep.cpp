@@ -17,6 +17,7 @@
 
 #include "analysis/table.hh"
 #include "core/scaling_study.hh"
+#include "support/bench_common.hh"
 
 int
 main(int argc, char **argv)
@@ -24,14 +25,16 @@ main(int argc, char **argv)
     using namespace odbsim;
     using analysis::TextTable;
 
+    // Shared knobs (--jobs/--shards/--event-queue/--profile) live in
+    // bench_common; only the positional machine name is local.
+    bench::parseArgs(argc, argv);
     core::StudyConfig cfg;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "itanium2") == 0)
             cfg.machine = core::MachineKind::Itanium2Quad;
-        else if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc)
-            cfg.jobs = static_cast<unsigned>(
-                std::strtoul(argv[++i], nullptr, 10));
     }
+    cfg.jobs = bench::studyJobs();
+    bench::applyEngineKnobs(cfg.knobs);
     cfg.onPoint = [](const core::RunResult &r) {
         std::fprintf(stderr, "  measured W=%u P=%u C=%u\n", r.warehouses,
                      r.processors, r.clients);

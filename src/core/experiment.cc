@@ -35,12 +35,14 @@ ExperimentRunner::runWithPreset(const MachinePreset &preset,
     // leaves the run bit-identical (inertness contract).
     os::SystemConfig syscfg = preset.sys;
     syscfg.faults = knobs.faults;
+    syscfg.eventQueue = knobs.eventQueue;
     os::System sys(syscfg);
 
     db::DatabaseConfig dbcfg;
     dbcfg.schema.warehouses = warehouses;
     dbcfg.schema.seed = knobs.seed;
     dbcfg.cacheWarehouseEquivalents = preset.cacheWarehouseEquivalents;
+    dbcfg.shards = knobs.dbShards;
     db::Database database(sys, dbcfg);
     database.start();
 
@@ -58,8 +60,8 @@ ExperimentRunner::runWithPreset(const MachinePreset &preset,
         database.instantWarm();
     // Dynamic warm-up: larger databases need more transactions to
     // reach steady-state residency of the skew-hot rows.
-    const Tick extra_warm =
-        ticksFromMs(static_cast<double>(warehouses) * 4.0);
+    const Tick extra_warm = ticksFromMs(
+        static_cast<double>(warehouses) * knobs.warmupPerWarehouseMs);
     sys.runFor(knobs.warmup + extra_warm);
 
     sys.beginMeasurement();

@@ -23,6 +23,7 @@
 #include "core/metrics.hh"
 #include "mem/topology.hh"
 #include "os/placement.hh"
+#include "sim/event_queue.hh"
 #include "sim/fault.hh"
 #include "sim/types.hh"
 
@@ -78,6 +79,19 @@ struct RunKnobs
     /** Fault-injection plan (default: none — structurally inert, the
      *  run is bit-identical to one without the subsystem). */
     sim::FaultConfig faults;
+    /** Dynamic warm-up added per warehouse on top of @ref warmup, in
+     *  simulated milliseconds: larger databases need more transactions
+     *  to reach steady-state residency of the skew-hot rows. The
+     *  default reproduces the paper-scale behaviour; 100×-scale grid
+     *  points dial it down to keep wall clock bounded. */
+    double warmupPerWarehouseMs = 4.0;
+    /** Engine shard count for the lock manager and buffer cache
+     *  (power of two; 1 = the unsharded paper-scale layout whose
+     *  goldens are byte-exact — see docs/SCALE.md). */
+    unsigned dbShards = 1;
+    /** Event-queue ordering structure (wheel default; the heap kind
+     *  is the bit-identical differential/perf oracle). */
+    EventQueueKind eventQueue = EventQueueKind::wheel;
 };
 
 /**

@@ -1,21 +1,59 @@
 #include "db/buffer_cache.hh"
 
+#include <bit>
+
 #include "sim/logging.hh"
 
 namespace odbsim::db
 {
 
-BufferCache::BufferCache(std::uint64_t frames)
-    : frameMod_(frames)
+BufferCache::BufferCache(std::uint64_t frames, unsigned shards)
+    : frameMod_(frames), totalFrames_(frames), shardCount_(shards)
 {
-    odbsim_assert(frames >= 8, "buffer cache needs at least 8 frames");
-    frames_.resize(frames + 1);
-    sentinel_ = static_cast<std::uint32_t>(frames);
-    frames_[sentinel_].prev = sentinel_;
-    frames_[sentinel_].next = sentinel_;
-    // Residency can never exceed the frame count, so after this the
-    // index never rehashes (mapAllocations() stays flat).
-    map_.reserve(frames);
+    odbsim_assert(shards >= 1 && shards <= 256 &&
+                      std::has_single_bit(shards),
+                  "buffer cache shard count must be a power of two in "
+                  "[1, 256], got ",
+                  shards);
+    odbsim_assert(frames >= 8 * shards,
+                  "buffer cache needs at least 8 frames per shard");
+    // One shared frame array; the K list sentinels live past the end
+    // so frame indices stay global and dense.
+    frames_.resize(frames + shards);
+    shards_.resize(shards);
+    std::uint64_t base = 0;
+    for (unsigned s = 0; s < shards; ++s) {
+        Shard &sh = shards_[s];
+        const std::uint64_t count =
+            frames / shards + (s < frames % shards ? 1 : 0);
+        sh.nextFree = base;
+        sh.freeEnd = base + count;
+        sh.sentinel = static_cast<std::uint32_t>(frames + s);
+        frames_[sh.sentinel].prev = sh.sentinel;
+        frames_[sh.sentinel].next = sh.sentinel;
+        // Residency per shard can never exceed its frame share, so
+        // after this no index ever rehashes (mapAllocations() flat).
+        sh.map.reserve(count);
+        base += count;
+    }
+}
+
+std::uint64_t
+BufferCache::residentBlocks() const
+{
+    std::uint64_t total = 0;
+    for (const Shard &sh : shards_)
+        total += sh.map.size();
+    return total;
+}
+
+std::uint64_t
+BufferCache::mapAllocations() const
+{
+    std::uint64_t total = 0;
+    for (const Shard &sh : shards_)
+        total += sh.map.allocations();
+    return total;
 }
 
 void
@@ -27,58 +65,61 @@ BufferCache::unlink(std::uint32_t f)
 }
 
 void
-BufferCache::pushFront(std::uint32_t f)
+BufferCache::pushFront(Shard &sh, std::uint32_t f)
 {
     Frame &fr = frames_[f];
-    fr.next = frames_[sentinel_].next;
-    fr.prev = sentinel_;
+    fr.next = frames_[sh.sentinel].next;
+    fr.prev = sh.sentinel;
     frames_[fr.next].prev = f;
-    frames_[sentinel_].next = f;
+    frames_[sh.sentinel].next = f;
 }
 
 BufferLookup
 BufferCache::lookup(BlockId b)
 {
-    ++gets_;
-    const std::uint32_t *slot = map_.find(b);
+    Shard &sh = shards_[shardOf(b)];
+    ++sh.gets;
+    const std::uint32_t *slot = sh.map.find(b);
     if (!slot) {
-        ++misses_;
+        ++sh.misses;
         return BufferLookup{false, 0};
     }
     const std::uint32_t f = *slot;
     unlink(f);
-    pushFront(f);
+    pushFront(sh, f);
     return BufferLookup{true, f};
 }
 
 BufferVictim
 BufferCache::allocate(BlockId b)
 {
-    odbsim_assert(map_.find(b) == nullptr,
+    Shard &sh = shards_[shardOf(b)];
+    odbsim_assert(sh.map.find(b) == nullptr,
                   "allocate for already-resident block ", b);
     BufferVictim out;
 
     std::uint32_t f;
-    if (nextFree_ < sentinel_) {
-        f = static_cast<std::uint32_t>(nextFree_++);
+    if (sh.nextFree < sh.freeEnd) {
+        f = static_cast<std::uint32_t>(sh.nextFree++);
     } else {
-        // Evict from the LRU tail, skipping frames with in-flight DMA.
-        f = frames_[sentinel_].prev;
+        // Evict from the shard's LRU tail, skipping frames with
+        // in-flight DMA.
+        f = frames_[sh.sentinel].prev;
         std::uint64_t walked = 0;
-        while (f != sentinel_ && frames_[f].ioPending) {
+        while (f != sh.sentinel && frames_[f].ioPending) {
             f = frames_[f].prev;
             ++walked;
         }
-        odbsim_assert(f != sentinel_,
-                      "all ", sentinel_, " frames are I/O pending");
+        odbsim_assert(f != sh.sentinel, "shard ", shardOf(b),
+                      ": all frames are I/O pending");
         (void)walked;
         Frame &victim = frames_[f];
         out.hadBlock = true;
         out.evictedBlock = victim.block;
         out.wasDirty = victim.dirty;
         if (victim.dirty)
-            ++dirtyEvictions_;
-        map_.erase(victim.block);
+            ++sh.dirtyEvictions;
+        sh.map.erase(victim.block);
         unlink(f);
     }
 
@@ -86,8 +127,8 @@ BufferCache::allocate(BlockId b)
     fr.block = b;
     fr.dirty = false;
     fr.ioPending = true;
-    map_.findOrInsert(b) = f;
-    pushFront(f);
+    sh.map.findOrInsert(b) = f;
+    pushFront(sh, f);
     out.frame = f;
     return out;
 }
@@ -107,23 +148,24 @@ BufferCache::markDirty(std::uint64_t frame)
 void
 BufferCache::prefill(BlockId b, bool dirty)
 {
-    if (map_.find(b) != nullptr)
+    Shard &sh = shards_[shardOf(b)];
+    if (sh.map.find(b) != nullptr)
         return;
-    if (nextFree_ >= sentinel_)
+    if (sh.nextFree >= sh.freeEnd)
         return;
-    const std::uint32_t f = static_cast<std::uint32_t>(nextFree_++);
+    const std::uint32_t f = static_cast<std::uint32_t>(sh.nextFree++);
     Frame &fr = frames_[f];
     fr.block = b;
     fr.dirty = dirty;
     fr.ioPending = false;
-    map_.findOrInsert(b) = f;
-    pushFront(f);
+    sh.map.findOrInsert(b) = f;
+    pushFront(sh, f);
 }
 
 void
 BufferCache::markClean(BlockId b)
 {
-    const std::uint32_t *f = map_.find(b);
+    const std::uint32_t *f = shards_[shardOf(b)].map.find(b);
     if (f)
         frames_[*f].dirty = false;
 }
@@ -131,9 +173,11 @@ BufferCache::markClean(BlockId b)
 void
 BufferCache::resetStats()
 {
-    gets_ = 0;
-    misses_ = 0;
-    dirtyEvictions_ = 0;
+    for (Shard &sh : shards_) {
+        sh.gets = 0;
+        sh.misses = 0;
+        sh.dirtyEvictions = 0;
+    }
 }
 
 } // namespace odbsim::db

@@ -10,7 +10,8 @@ namespace odbsim::db
 
 Database::Database(os::System &sys, const DatabaseConfig &cfg)
     : sys_(sys), cfg_(cfg), schema_(cfg.schema),
-      bufcache_(resolveFrames(cfg, schema_)), log_(sys, cfg_.costs),
+      bufcache_(resolveFrames(cfg, schema_), cfg.shards),
+      locks_(cfg.shards), log_(sys, cfg_.costs),
       dbwr_(sys, cfg_.costs, bufcache_, cfg.dbwr)
 {
     locks_.bind(&sys);

@@ -43,6 +43,14 @@ struct DatabaseConfig
     double warmDirtyFraction = 0.20;
     DbCostModel costs;
     DbWriterConfig dbwr;
+    /**
+     * Shard count for the lock manager and buffer cache (power of
+     * two). 1 (the default) is structurally identical to the
+     * unsharded engine, keeping paper-scale goldens byte-exact; K>1
+     * partitions both by resource/block hash for production-scale
+     * grids (see docs/SCALE.md).
+     */
+    unsigned shards = 1;
 };
 
 /**

@@ -209,10 +209,14 @@ class FlatMap
     void
     reserve(std::size_t entries)
     {
+        // Smallest power-of-two capacity whose 7/8 load threshold
+        // admits `entries` live elements, mirroring the insert-time
+        // check exactly: reserving capacity×7/8 elements must neither
+        // rehash on the last insert nor round up to the next power of
+        // two here.
         std::size_t cap = minCapacity_;
-        // Capacity such that `entries` stays under the 7/8 threshold.
-        while ((entries + 1) * 8 > cap * 7)
-            cap *= 2;
+        if (entries > 0)
+            cap = std::max(cap, std::bit_ceil((entries * 8 + 6) / 7));
         if (cap > slots_.size())
             rehash(cap);
     }

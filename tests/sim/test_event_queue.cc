@@ -326,6 +326,184 @@ TEST(EventQueue, ChurnMatchesNaiveReferenceModel)
     EXPECT_TRUE(eq.empty());
 }
 
+TEST(EventQueueWheel, ScheduleAtNowFiresImmediately)
+{
+    EventQueue eq;
+    eq.schedule(100, [] {});
+    eq.runAll(); // curTick = 100
+    int fired = 0;
+    eq.schedule(eq.curTick(), [&] { ++fired; });
+    EXPECT_TRUE(eq.step());
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(eq.curTick(), 100u);
+}
+
+TEST(EventQueueWheel, FarFutureEventsSpillToOverflowAndRefill)
+{
+    // Deltas beyond kWheelHorizon cannot be indexed by the wheel; they
+    // park in the overflow heap and must drain back in time order as
+    // the wheel position crosses into their block.
+    EventQueue eq;
+    std::vector<int> order;
+    const Tick horizon = EventQueue::kWheelHorizon;
+    eq.schedule(3 * horizon + 17, [&] { order.push_back(3); });
+    eq.schedule(horizon + 5, [&] { order.push_back(2); });
+    eq.schedule(42, [&] { order.push_back(1); });
+    eq.runAll();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(eq.curTick(), 3 * horizon + 17);
+}
+
+TEST(EventQueueWheel, OverflowRefillPreservesSameTickFifo)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    const Tick when = EventQueue::kWheelHorizon * 2 + 9;
+    for (int i = 0; i < 8; ++i)
+        eq.schedule(when, [&order, i] { order.push_back(i); });
+    eq.runAll();
+    ASSERT_EQ(order.size(), 8u);
+    for (int i = 0; i < 8; ++i)
+        EXPECT_EQ(order[i], i);
+}
+
+TEST(EventQueueWheel, CancelWorksInWheelAndInOverflow)
+{
+    EventQueue eq;
+    int fired = 0;
+    // One event in a wheel bucket (eagerly unlinked on cancel), one in
+    // the overflow heap (lazily reclaimed when it surfaces).
+    EventHandle in_wheel = eq.schedule(10, [&] { ++fired; });
+    EventHandle in_overflow =
+        eq.schedule(EventQueue::kWheelHorizon + 1, [&] { ++fired; });
+    eq.schedule(EventQueue::kWheelHorizon + 2, [&] { fired += 10; });
+    EXPECT_EQ(eq.size(), 3u);
+    in_wheel.cancel();
+    in_overflow.cancel();
+    EXPECT_EQ(eq.size(), 1u);
+    eq.runAll();
+    EXPECT_EQ(fired, 10); // only the surviving overflow event fired
+    EXPECT_TRUE(eq.empty());
+}
+
+TEST(EventQueueWheel, SameTickFifoAcrossCascade)
+{
+    // Event 0 is scheduled far ahead (a high wheel level) and must
+    // cascade down as time advances; event 1 targets the same tick but
+    // is scheduled late enough to land directly in a low level. FIFO
+    // demands schedule order — the cascaded event first.
+    EventQueue eq;
+    std::vector<int> order;
+    const Tick when = 100'000;
+    eq.schedule(when, [&] { order.push_back(0); });
+    eq.schedule(when - 50, [&] {
+        eq.schedule(when, [&] { order.push_back(1); });
+    });
+    eq.runAll();
+    EXPECT_EQ(order, (std::vector<int>{0, 1}));
+}
+
+TEST(EventQueueWheel, ScheduleAfterIdleAdvanceLandsCorrectly)
+{
+    // run(limit) past the last event moves curTick without any bucket
+    // cursor work; the next schedules must still index correctly.
+    EventQueue eq;
+    eq.run(123'456'789);
+    EXPECT_EQ(eq.curTick(), 123'456'789u);
+    std::vector<int> order;
+    eq.schedule(eq.curTick() + 1, [&] { order.push_back(1); });
+    eq.schedule(eq.curTick() + 5000, [&] { order.push_back(2); });
+    eq.runAll();
+    EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(EventQueueHeap, HeapKindMatchesWheelSemantics)
+{
+    // The heap kind is the differential oracle: same API, same firing
+    // order, including cancel and same-tick FIFO.
+    EventQueue eq(EventQueueKind::heap);
+    std::vector<int> order;
+    EventHandle doomed = eq.schedule(15, [&] { order.push_back(99); });
+    eq.schedule(20, [&] { order.push_back(2); });
+    eq.schedule(10, [&] { order.push_back(0); });
+    eq.schedule(20, [&] { order.push_back(3); });
+    eq.schedule(10, [&] { order.push_back(1); });
+    doomed.cancel();
+    eq.runAll();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+    EXPECT_EQ(eq.curTick(), 20u);
+    EXPECT_EQ(eq.eventsFired(), 4u);
+}
+
+/**
+ * Differential oracle: one deterministic schedule/cancel/step stream
+ * driven through the wheel and the heap kinds must produce identical
+ * firing sequences — the wheel's bucket-and-cascade machinery may
+ * never reorder anything relative to the plain (when, seq) heap.
+ */
+TEST(EventQueue, WheelMatchesHeapUnderChurn)
+{
+    EventQueue wheel(EventQueueKind::wheel);
+    EventQueue heap(EventQueueKind::heap);
+    std::vector<std::pair<Tick, int>> fired_wheel, fired_heap;
+    std::vector<EventHandle> handles_wheel, handles_heap;
+
+    std::uint64_t x = 0x2545f4914f6cdd1dULL;
+    auto next = [&x] {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        return x;
+    };
+
+    int id = 0;
+    for (int round = 0; round < 3000; ++round) {
+        const std::uint64_t r = next();
+        if (r % 5 != 0 || handles_wheel.empty()) {
+            // Mixed horizons: mostly short, some mid, a few beyond the
+            // wheel horizon (overflow), to hit every placement path.
+            Tick delta;
+            const std::uint64_t d = next();
+            switch (d % 16) {
+              case 0:
+                delta = EventQueue::kWheelHorizon + d % 1000;
+                break;
+              case 1:
+              case 2:
+                delta = d % 3'000'000;
+                break;
+              default:
+                delta = d % 200;
+                break;
+            }
+            const int my_id = id++;
+            const Tick when_wheel = wheel.curTick() + delta;
+            handles_wheel.push_back(wheel.schedule(
+                when_wheel, [&fired_wheel, &wheel, my_id] {
+                    fired_wheel.emplace_back(wheel.curTick(), my_id);
+                }));
+            handles_heap.push_back(heap.schedule(
+                heap.curTick() + delta, [&fired_heap, &heap, my_id] {
+                    fired_heap.emplace_back(heap.curTick(), my_id);
+                }));
+        } else {
+            const std::size_t pick = next() % handles_wheel.size();
+            handles_wheel[pick].cancel();
+            handles_heap[pick].cancel();
+        }
+        if (r % 3 == 0) {
+            wheel.step();
+            heap.step();
+        }
+    }
+    wheel.runAll();
+    heap.runAll();
+    EXPECT_EQ(fired_wheel, fired_heap);
+    EXPECT_EQ(wheel.eventsFired(), heap.eventsFired());
+    EXPECT_TRUE(wheel.empty());
+    EXPECT_TRUE(heap.empty());
+}
+
 /** Property: N randomly-ordered events fire in nondecreasing time. */
 class EventQueueOrderProperty : public ::testing::TestWithParam<int>
 {

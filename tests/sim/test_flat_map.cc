@@ -118,6 +118,54 @@ TEST(FlatMap, ReservePreventsRehash)
     EXPECT_EQ(m.allocations(), allocs);
 }
 
+/**
+ * reserve() must size the table exactly as the insert-time 7/8 load
+ * check demands: reserving capacity×7/8 entries lands on the exact
+ * boundary (no rehash on the last insert, no over-doubling), and one
+ * entry past the boundary must round up to the next power of two.
+ * Regression for a reserve() that applied the load-factor check
+ * before rounding up to a power of two, under-sizing the table and
+ * paying one full rehash mid-warm-up.
+ */
+TEST(FlatMap, ReserveBoundaryIsExact)
+{
+    // 7/8 of 2048 = 1792: the largest population a 2048-slot table
+    // admits. Reserving it must yield exactly 2048 slots...
+    {
+        FlatMap<std::uint64_t, std::uint32_t> m;
+        m.reserve(1792);
+        EXPECT_EQ(m.capacity(), 2048u);
+        const std::uint64_t allocs = m.allocations();
+        for (std::uint64_t k = 0; k < 1792; ++k)
+            m.findOrInsert(k) = static_cast<std::uint32_t>(k);
+        // ...and filling to the boundary must not rehash.
+        EXPECT_EQ(m.size(), 1792u);
+        EXPECT_EQ(m.capacity(), 2048u);
+        EXPECT_EQ(m.allocations(), allocs);
+    }
+    // One entry past the boundary needs the next power of two.
+    {
+        FlatMap<std::uint64_t, std::uint32_t> m;
+        m.reserve(1793);
+        EXPECT_EQ(m.capacity(), 4096u);
+        const std::uint64_t allocs = m.allocations();
+        for (std::uint64_t k = 0; k < 1793; ++k)
+            m.findOrInsert(k) = static_cast<std::uint32_t>(k);
+        EXPECT_EQ(m.allocations(), allocs);
+    }
+    // reserve() never shrinks and reserve(0) keeps the minimum.
+    {
+        FlatMap<std::uint64_t, std::uint32_t> m;
+        EXPECT_EQ(m.capacity(), 1024u);
+        m.reserve(0);
+        EXPECT_EQ(m.capacity(), 1024u);
+        m.reserve(4000);
+        EXPECT_EQ(m.capacity(), 8192u);
+        m.reserve(100);
+        EXPECT_EQ(m.capacity(), 8192u);
+    }
+}
+
 TEST(FlatMap, GrowthAdvancesAllocationCounter)
 {
     FlatMap<std::uint64_t, std::uint32_t> m; // 1024 slots minimum.
