@@ -53,6 +53,15 @@ EventQueueKind g_eq_kind = []() {
     return EventQueueKind::wheel;
 }();
 
+/** Intra-run replay worker threads; seeded from ODBSIM_REPLAY_THREADS. */
+unsigned g_replay_threads = []() -> unsigned {
+    const char *env = std::getenv("ODBSIM_REPLAY_THREADS");
+    if (!env)
+        return 1;
+    const long v = std::strtol(env, nullptr, 10);
+    return v >= 0 ? static_cast<unsigned>(v) : 1;
+}();
+
 std::string
 cachePath(core::MachineKind machine)
 {
@@ -143,6 +152,16 @@ parseArgs(int argc, char **argv)
                              "(expected wheel|heap)\n",
                              kind);
             }
+        } else if (std::strcmp(argv[i], "--replay-threads") == 0 &&
+                   i + 1 < argc) {
+            const long v = std::strtol(argv[++i], nullptr, 10);
+            if (v < 0) {
+                std::fprintf(stderr,
+                             "[bench] ignoring negative "
+                             "--replay-threads\n");
+                continue;
+            }
+            g_replay_threads = static_cast<unsigned>(v);
         }
     }
 }
@@ -171,11 +190,21 @@ eventQueueKind()
     return g_eq_kind;
 }
 
+unsigned
+replayThreads()
+{
+    return g_replay_threads;
+}
+
 void
 applyEngineKnobs(core::RunKnobs &knobs)
 {
     knobs.dbShards = g_shards;
     knobs.eventQueue = g_eq_kind;
+    // Host-execution knob, not an engine knob: any value produces
+    // bit-identical metrics (like --jobs), so it deliberately does not
+    // join the cache-bypass predicate in sharedStudy() below.
+    knobs.replayThreads = g_replay_threads;
 }
 
 void

@@ -36,7 +36,12 @@ std::vector<unsigned> figureWarehouseGrid();
  *    paper-exact layout);
  *  - `--event-queue wheel|heap` (env `ODBSIM_EVENT_QUEUE`): event
  *    queue ordering structure (default wheel; heap is the
- *    bit-identical oracle).
+ *    bit-identical oracle);
+ *  - `--replay-threads N` (env `ODBSIM_REPLAY_THREADS`): host worker
+ *    threads for the intra-run replay-side parallel phases (sharded
+ *    instant-warm prefill; 1 = serial default, 0 = one per hardware
+ *    thread). A host-execution knob like `--jobs`: metrics are
+ *    bit-identical at any value, so it does not bypass the CSV cache.
  *
  * Flags win over the environment. Unknown arguments are ignored so
  * bench-specific flags can coexist. Results are seed-deterministic
@@ -58,6 +63,10 @@ unsigned dbShards();
 
 /** Event-queue kind selected by --event-queue/ODBSIM_EVENT_QUEUE. */
 EventQueueKind eventQueueKind();
+
+/** Replay-side worker threads selected by
+ *  --replay-threads/ODBSIM_REPLAY_THREADS (default 1). */
+unsigned replayThreads();
 
 /** Apply the parsed engine knobs (shards, event queue) to @p knobs. */
 void applyEngineKnobs(core::RunKnobs &knobs);

@@ -5,9 +5,11 @@
 # enforces the >= 1.5x event-queue and >= 1.3x coherence-directory
 # speedup gates and cross-checks the flat directory against the legacy
 # implementation), then regenerates both scaling-study CSVs into
-# scratch caches — once serially and once with the parallel
-# longest-first scheduler (--jobs 0) — and diffs every regeneration
-# against the goldens committed at the repo root.
+# scratch caches — once serially, once with the parallel
+# longest-first scheduler (--jobs 0), and once with --jobs 3
+# --replay-threads 2 (host-execution knobs must be invisible in the
+# output) — and diffs every regeneration against the goldens
+# committed at the repo root.
 #
 # Any single differing CSV byte fails the script. A perf-gate miss
 # (bench exit code 2) fails the script unless ODBSIM_PERF_GATE=warn,
@@ -85,6 +87,19 @@ echo "== regenerate study CSVs with a cold cache (--jobs 0, longest-first) =="
 ODBSIM_CACHE_DIR="$cache_parallel" "$build_dir/bench/bench_fig09_cpi" -j 0 > /dev/null
 ODBSIM_CACHE_DIR="$cache_parallel" "$build_dir/bench/bench_fig19_itanium2" -j 0 > /dev/null
 check_goldens "$cache_parallel" "parallel"
+
+echo "== regenerate study CSVs with a cold cache (--jobs 3 --replay-threads 2) =="
+# Odd worker count plus intra-run replay threads: both are
+# host-execution knobs, so the goldens must still come out byte-exact
+# (--replay-threads deliberately does not bypass the CSV cache — see
+# EXPERIMENTS.md).
+cache_replay="$(mktemp -d)"
+trap 'rm -rf "$cache_serial" "$cache_parallel" "$cache_replay"' EXIT
+ODBSIM_CACHE_DIR="$cache_replay" "$build_dir/bench/bench_fig09_cpi" \
+    --jobs 3 --replay-threads 2 > /dev/null
+ODBSIM_CACHE_DIR="$cache_replay" "$build_dir/bench/bench_fig19_itanium2" \
+    --jobs 3 --replay-threads 2 > /dev/null
+check_goldens "$cache_replay" "jobs3+replay2"
 
 echo "== islands deployment sweep (serial vs --jobs 0 must be bit-identical) =="
 # The sweep self-checks its crossover physics (exit 3 on failure); the

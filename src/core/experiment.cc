@@ -57,7 +57,7 @@ ExperimentRunner::runWithPreset(const MachinePreset &preset,
     workload.start();
 
     if (knobs.instantWarm)
-        database.instantWarm();
+        database.instantWarm({}, knobs.replayThreads);
     // Dynamic warm-up: larger databases need more transactions to
     // reach steady-state residency of the skew-hot rows.
     const Tick extra_warm = ticksFromMs(

@@ -92,6 +92,17 @@ struct RunKnobs
     /** Event-queue ordering structure (wheel default; the heap kind
      *  is the bit-identical differential/perf oracle). */
     EventQueueKind eventQueue = EventQueueKind::wheel;
+    /**
+     * Host worker threads for the intra-run replay-side parallel
+     * phases (today: the instant-warm buffer-cache prefill, which is
+     * partitioned by buffer shard). 1 (default) is the legacy serial
+     * path; 0 = one worker per hardware thread. A *host-execution*
+     * knob like StudyConfig::jobs, not an engine knob: the simulated
+     * machine and every metric are bit-identical at any value, so it
+     * does not bypass the study CSV caches (enforced by
+     * scripts/bench_smoke.sh's --replay-threads byte-diff).
+     */
+    unsigned replayThreads = 1;
 };
 
 /**

@@ -6,6 +6,7 @@
 #include <thread>
 #include <vector>
 
+#include "core/repeat.hh"
 #include "sim/logging.hh"
 #include "sim/thread_pool.hh"
 
@@ -86,6 +87,8 @@ ScalingStudy::run(const StudyConfig &cfg)
         out.series[pi].points.resize(nw);
     }
 
+    const unsigned jobs = resolveJobs(cfg.jobs, total);
+
     std::mutex progress_mutex;
     const auto runPoint = [&](std::size_t pi, std::size_t wi) {
         OltpConfiguration point;
@@ -94,15 +97,25 @@ ScalingStudy::run(const StudyConfig &cfg)
         point.machine = cfg.machine;
         point.topology = cfg.topology;
         point.placement = cfg.placement;
-        RunResult r = ExperimentRunner::run(point, cfg.knobs);
+        RunResult r;
+        if (cfg.repeats <= 1) {
+            r = ExperimentRunner::run(point, cfg.knobs);
+        } else {
+            // Hierarchical decomposition: the point fans its seed
+            // replicas out as nested tasks on the worker pool it is
+            // already running on (hostParallelFor detects the pool);
+            // on the serial path the replicas run serially too.
+            const unsigned inner = jobs > 1 ? jobs : 1;
+            RepeatedResult rep =
+                repeatRun(point, cfg.knobs, cfg.repeats, inner);
+            r = aggregateRuns(rep.runs);
+        }
         if (cfg.onPoint) {
             std::lock_guard<std::mutex> lock(progress_mutex);
             cfg.onPoint(r);
         }
         out.series[pi].points[wi] = std::move(r);
     };
-
-    const unsigned jobs = resolveJobs(cfg.jobs, total);
     if (jobs <= 1) {
         // Legacy serial path: grid order, no worker threads.
         for (std::size_t pi = 0; pi < cfg.processors.size(); ++pi)

@@ -56,6 +56,18 @@ struct StudyConfig
      */
     unsigned jobs = 1;
     /**
+     * Per-point seed replicas (the paper's six-repeat methodology),
+     * hierarchically decomposed under jobs: each grid point measures
+     * @c repeats replicas with derived seeds and stores their
+     * aggregateRuns() mean. 1 (default) is the legacy single-run path,
+     * byte-for-byte. With jobs > 1 the replicas of a point run as
+     * nested tasks on the same worker pool (repeatRun's nested
+     * fan-out), so the largest grid point no longer floors the sweep's
+     * wall clock; results stay bit-identical at any job count because
+     * replicas are collected by replica index before aggregation.
+     */
+    unsigned repeats = 1;
+    /**
      * Optional progress callback (per finished configuration).
      *
      * With jobs != 1 it is invoked from worker threads, serialized by

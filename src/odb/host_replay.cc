@@ -1,0 +1,283 @@
+#include "odb/host_replay.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "db/database.hh"
+#include "os/system.hh"
+#include "sim/logging.hh"
+#include "sim/rng.hh"
+#include "sim/thread_pool.hh"
+
+namespace odbsim::odb
+{
+
+namespace
+{
+
+/** Lock-owner identity for a replay bucket; never scheduled. */
+class GroupProcess : public os::Process
+{
+  public:
+    using os::Process::Process;
+
+    os::NextAction
+    next(os::System &) override
+    {
+        os::NextAction a;
+        a.after = os::NextAction::After::Block;
+        return a;
+    }
+};
+
+/** Padded per-shard mutex (same discipline as bench_hotpath's
+ *  concurrent-shard benches: no false sharing between stripes). */
+struct alignas(128) Stripe
+{
+    std::mutex m;
+};
+
+std::uint64_t
+foldDigest(std::uint64_t d, std::uint64_t v)
+{
+    d ^= v + 0x9e3779b97f4a7c15ULL + (d << 6) + (d >> 2);
+    return d;
+}
+
+/** Deterministic plan-order digest of one trace. */
+std::uint64_t
+traceDigest(const db::ActionTrace &t)
+{
+    std::uint64_t d =
+        foldDigest(static_cast<std::uint64_t>(t.type), t.logBytes);
+    for (const db::Action &a : t.actions) {
+        d = foldDigest(d, static_cast<std::uint64_t>(a.kind()));
+        d = foldDigest(d, a.target);
+        d = foldDigest(d, a.instr);
+    }
+    return d;
+}
+
+/** Miniature database scaled to the requested warehouse count (the
+ *  MiniOdb cardinalities: a full run fits in milliseconds). */
+db::DatabaseConfig
+replayDbConfig(const HostReplayConfig &cfg)
+{
+    db::DatabaseConfig dbcfg;
+    dbcfg.schema.warehouses = cfg.warehouses;
+    dbcfg.schema.seed = cfg.seed;
+    dbcfg.schema.customersPerDistrict = 300;
+    dbcfg.schema.itemCount = 2000;
+    dbcfg.schema.stockPerWarehouse = 2000;
+    dbcfg.schema.initialOrdersPerDistrict = 100;
+    dbcfg.schema.ordersPerDistrictCap = 400;
+    dbcfg.schema.olPerDistrictCap = 4500;
+    dbcfg.schema.newOrderCap = 200;
+    dbcfg.schema.historyCap = 1800;
+    dbcfg.schema.undoBlocks = 256;
+    dbcfg.sgaFrames = 1024 * cfg.dbShards;
+    dbcfg.shards = cfg.dbShards;
+    return dbcfg;
+}
+
+} // namespace
+
+HostReplayResult
+HostReplay::run(const HostReplayConfig &cfg)
+{
+    odbsim_assert(cfg.groups >= 1, "host replay needs at least one group");
+    odbsim_assert(cfg.warehouses >= cfg.groups &&
+                      cfg.warehouses % cfg.groups == 0,
+                  "warehouses (", cfg.warehouses,
+                  ") must be a multiple of groups (", cfg.groups, ")");
+
+    os::SystemConfig syscfg;
+    syscfg.numCpus = 1;
+    syscfg.seed = cfg.seed;
+    os::System sys(syscfg);
+    db::Database database(sys, replayDbConfig(cfg));
+    db::LockManager &locks = database.locks();
+    db::BufferCache &cache = database.bufferCache();
+
+    // ---- Plan phase (serial, deterministic) -------------------------
+    const auto plan_t0 = std::chrono::steady_clock::now();
+    TxnPlanner planner(database, cfg.mix);
+    const unsigned span = cfg.warehouses / cfg.groups;
+    std::vector<db::ActionTrace> traces;
+    traces.reserve(static_cast<std::size_t>(cfg.groups) * cfg.txnsPerGroup);
+    std::vector<unsigned> homeGroup; // planned-for group of each trace
+    homeGroup.reserve(traces.capacity());
+    for (unsigned g = 0; g < cfg.groups; ++g) {
+        Rng rng(cfg.seed + 0x9e3779b97f4a7c15ULL * (g + 1));
+        for (unsigned t = 0; t < cfg.txnsPerGroup; ++t) {
+            const std::uint32_t home_w =
+                g * span + static_cast<std::uint32_t>(rng.below(span));
+            traces.push_back(planner.planRandom(rng, home_w));
+            homeGroup.push_back(g);
+        }
+    }
+
+    // Greedy claim-map assignment: during the parallel phase each lock
+    // key is only ever locked by the single group that claimed it, so
+    // conflicts are structurally impossible; traces that straddle a
+    // claim boundary go to the serial cross bucket.
+    std::unordered_map<db::LockKey, unsigned> owner;
+    std::vector<std::vector<std::size_t>> groupTraces(cfg.groups);
+    std::vector<std::size_t> crossTraces;
+    for (std::size_t i = 0; i < traces.size(); ++i) {
+        const unsigned g = homeGroup[i];
+        bool foreign = false;
+        for (const db::Action &a : traces[i].actions) {
+            if (a.kind() != db::ActionKind::Lock)
+                continue;
+            auto it = owner.find(a.target);
+            if (it != owner.end() && it->second != g) {
+                foreign = true;
+                break;
+            }
+        }
+        if (foreign) {
+            crossTraces.push_back(i);
+            continue;
+        }
+        for (const db::Action &a : traces[i].actions) {
+            if (a.kind() == db::ActionKind::Lock)
+                owner.emplace(a.target, g);
+        }
+        groupTraces[g].push_back(i);
+    }
+
+    const double plan_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      plan_t0)
+            .count();
+
+    // ---- Replay phase ----------------------------------------------
+    std::vector<Stripe> lockStripes(locks.shards());
+    std::vector<Stripe> bufStripes(cache.shards());
+
+    const auto replayBucket = [&](const std::vector<std::size_t> &bucket,
+                                  os::Process *proc,
+                                  HostReplayGroupStats &stats) {
+        std::vector<db::LockKey> held;
+        for (std::size_t ti : bucket) {
+            const db::ActionTrace &tr = traces[ti];
+            for (const db::Action &a : tr.actions) {
+                switch (a.kind()) {
+                  case db::ActionKind::Lock: {
+                      bool granted;
+                      {
+                          std::lock_guard<std::mutex> g(
+                              lockStripes[locks.shardOf(a.target)].m);
+                          granted = locks.acquire(proc, a.target);
+                      }
+                      odbsim_assert(granted,
+                                    "host replay lock conflict: the "
+                                    "claim map must make these "
+                                    "impossible");
+                      held.push_back(a.target);
+                      ++stats.lockAcquires;
+                      break;
+                  }
+                  case db::ActionKind::Unlock: {
+                      {
+                          std::lock_guard<std::mutex> g(
+                              lockStripes[locks.shardOf(a.target)].m);
+                          locks.release(proc, a.target, sys);
+                      }
+                      auto it = std::find(held.begin(), held.end(),
+                                          a.target);
+                      if (it != held.end())
+                          held.erase(it);
+                      break;
+                  }
+                  case db::ActionKind::Touch: {
+                      const bool modify =
+                          a.touch() == db::TouchKind::HeapModify;
+                      std::lock_guard<std::mutex> g(
+                          bufStripes[cache.shardOf(a.target)].m);
+                      db::BufferLookup look = cache.lookup(a.target);
+                      std::uint64_t frame = look.frame;
+                      if (!look.hit) {
+                          db::BufferVictim v = cache.allocate(a.target);
+                          cache.fillComplete(v.frame);
+                          frame = v.frame;
+                      }
+                      if (modify)
+                          cache.markDirty(frame);
+                      ++stats.touches;
+                      break;
+                  }
+                  case db::ActionKind::Compute:
+                      stats.computeInstr += a.instr;
+                      break;
+                  case db::ActionKind::Commit:
+                      stats.logBytes += tr.logBytes;
+                      for (db::LockKey k : held) {
+                          std::lock_guard<std::mutex> g(
+                              lockStripes[locks.shardOf(k)].m);
+                          locks.release(proc, k, sys);
+                      }
+                      held.clear();
+                      break;
+                }
+            }
+            // Read-only traces without an explicit Commit still
+            // release whatever they hold before the next transaction.
+            for (db::LockKey k : held) {
+                std::lock_guard<std::mutex> g(
+                    lockStripes[locks.shardOf(k)].m);
+                locks.release(proc, k, sys);
+            }
+            held.clear();
+            stats.actions += tr.actions.size();
+            ++stats.txns;
+            stats.digest = foldDigest(stats.digest, traceDigest(tr));
+        }
+    };
+
+    HostReplayResult out;
+    out.groups.resize(cfg.groups);
+    std::vector<std::unique_ptr<GroupProcess>> procs;
+    procs.reserve(cfg.groups + 1);
+    for (unsigned g = 0; g < cfg.groups; ++g)
+        procs.push_back(std::make_unique<GroupProcess>(
+            "host-replay-" + std::to_string(g)));
+    procs.push_back(std::make_unique<GroupProcess>("host-replay-cross"));
+
+    // One worker task per group; stats land in their group slot, so
+    // the result is bit-identical for any thread count.
+    const auto replay_t0 = std::chrono::steady_clock::now();
+    hostParallelFor(cfg.threads, cfg.groups, [&](std::size_t g) {
+        replayBucket(groupTraces[g], procs[g].get(), out.groups[g]);
+    });
+
+    // Cross-group bucket: serial, after the parallel join (its keys
+    // may overlap any group's claims).
+    replayBucket(crossTraces, procs.back().get(), out.cross);
+    out.planSeconds = plan_seconds;
+    out.replaySeconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      replay_t0)
+            .count();
+
+    for (const HostReplayGroupStats &g : out.groups)
+        out.digest = foldDigest(out.digest, g.digest);
+    out.digest = foldDigest(out.digest, out.cross.digest);
+
+    out.lockConflicts = locks.conflicts();
+    out.locksHeldAfter = locks.heldCount();
+    out.lockAcquires = locks.acquires();
+    out.bufferGets = cache.gets();
+    out.bufferMisses = cache.misses();
+    odbsim_assert(out.lockConflicts == 0,
+                  "host replay saw a lock conflict");
+    odbsim_assert(out.locksHeldAfter == 0,
+                  "host replay leaked a lock");
+    return out;
+}
+
+} // namespace odbsim::odb

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * HostReplay: drive independent warehouse groups' transaction streams
+ * on host worker threads against the K-sharded lock manager and buffer
+ * cache — the end-to-end form of the concurrent-shard microbenches in
+ * bench_hotpath (docs/SCALE.md), and the first replay path that turns
+ * PR 8's sharding into wall-clock speedup on a multi-core host.
+ *
+ * This is deliberately *not* the discrete-event simulation: the DES
+ * replay is a single globally-ordered clock and stays serial. Instead,
+ * HostReplay splits the plan-then-replay pipeline at its natural seam:
+ *
+ *  1. Plan phase (serial, deterministic). A TxnPlanner builds every
+ *     group's ActionTraces group by group from per-group RNG streams,
+ *     mutating the schema functionally exactly as the DES path does.
+ *     Each trace is then assigned by a greedy lock-key claim map:
+ *     a trace whose lock keys are all unclaimed or already claimed by
+ *     its home group replays with that group; a trace touching another
+ *     group's claimed key (TPC-C's 15% remote payments / 1% remote
+ *     stock) falls into the cross bucket.
+ *
+ *  2. Replay phase (host-parallel). One worker task per group replays
+ *     its traces against the shared sharded tables, serialized per
+ *     shard by padded stripe mutexes. The claim map makes lock
+ *     *conflicts* structurally impossible during this phase — every
+ *     key is locked only by its owning group, whose traces replay
+ *     serially — so LockManager::release never has a waiter to wake
+ *     and the scheduler is never touched from a worker thread
+ *     (asserted: conflicts() == 0, heldCount() == 0 afterwards).
+ *     The cross bucket replays serially after the parallel join.
+ *
+ * Determinism contract: all per-group counters and digests are derived
+ * from the serial plan order and collected by group index, so they are
+ * bit-identical for any thread count. Buffer-cache hit/miss totals are
+ * the one exception — interleaving of groups on a shared shard
+ * reorders LRU state — and are reported as informational only.
+ */
+
+#ifndef ODBSIM_ODB_HOST_REPLAY_HH
+#define ODBSIM_ODB_HOST_REPLAY_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "odb/planner.hh"
+
+namespace odbsim::odb
+{
+
+/** Host-parallel replay experiment definition. */
+struct HostReplayConfig
+{
+    /** Database scale; must be divisible by groups. */
+    unsigned warehouses = 16;
+    /** Independent warehouse groups (one worker task each). */
+    unsigned groups = 4;
+    /** Transactions planned per group. */
+    unsigned txnsPerGroup = 200;
+    /** Host worker threads (hostParallelFor semantics: 1 = serial,
+     *  0 = one per hardware thread). */
+    unsigned threads = 1;
+    /** Lock-manager / buffer-cache shard count (power of two). */
+    unsigned dbShards = 4;
+    /** Master seed for the per-group planning RNG streams. */
+    std::uint64_t seed = 42;
+    /** Transaction mix planned for every group. */
+    TxnMix mix;
+};
+
+/** Plan-derived counters of one replay bucket (deterministic). */
+struct HostReplayGroupStats
+{
+    std::uint64_t txns = 0;
+    std::uint64_t actions = 0;
+    std::uint64_t lockAcquires = 0;
+    std::uint64_t touches = 0;
+    std::uint64_t computeInstr = 0;
+    std::uint64_t logBytes = 0;
+    /** Order-sensitive fold over the bucket's actions. */
+    std::uint64_t digest = 0;
+};
+
+/** Everything one HostReplay run yields. */
+struct HostReplayResult
+{
+    /** Per-group stats, by group index (bit-identical at any thread
+     *  count). */
+    std::vector<HostReplayGroupStats> groups;
+    /** The serially-replayed cross-group bucket. */
+    HostReplayGroupStats cross;
+    /** Fold of the group digests (group order) and the cross digest. */
+    std::uint64_t digest = 0;
+
+    /** @name Shared-table invariants after replay @{ */
+    /** LockManager::conflicts(); 0 by construction. */
+    std::uint64_t lockConflicts = 0;
+    /** LockManager::heldCount(); 0 — every trace commits. */
+    std::uint64_t locksHeldAfter = 0;
+    /** LockManager::acquires() — equals the sum of the bucket
+     *  lockAcquires counters. */
+    std::uint64_t lockAcquires = 0;
+    /** @} */
+
+    /** @name Informational (timing-dependent under threads > 1) @{ */
+    std::uint64_t bufferGets = 0;
+    std::uint64_t bufferMisses = 0;
+    /** Host wall clock of the serial plan+assign phase. */
+    double planSeconds = 0.0;
+    /** Host wall clock of the replay phase (parallel groups + serial
+     *  cross bucket) — the figure the bench's speedup compares. */
+    double replaySeconds = 0.0;
+    /** @} */
+};
+
+/**
+ * Runs one host-parallel replay experiment. Builds its own
+ * System/Database (miniature cardinalities scaled by warehouses), so
+ * concurrent calls from different threads are independent.
+ */
+class HostReplay
+{
+  public:
+    static HostReplayResult run(const HostReplayConfig &cfg);
+};
+
+} // namespace odbsim::odb
+
+#endif // ODBSIM_ODB_HOST_REPLAY_HH

@@ -164,6 +164,34 @@ TEST(StudyParallel, CostHintReordersDispatchButNotResults)
     }
 }
 
+TEST(StudyParallel, HierarchicalRepeatsAreBitIdenticalAcrossJobs)
+{
+    // StudyConfig::repeats decomposes each grid point into per-seed
+    // replicas that run as nested pool tasks when jobs > 1. The
+    // aggregated points must not depend on the job count: points are
+    // collected by grid index and replicas by replica index.
+    StudyConfig serial_cfg = smallGrid(1);
+    serial_cfg.warehouses = {10, 25};
+    serial_cfg.processors = {1};
+    serial_cfg.repeats = 2;
+    const StudyResult serial = ScalingStudy::run(serial_cfg);
+
+    StudyConfig parallel_cfg = serial_cfg;
+    parallel_cfg.jobs = 4;
+    const StudyResult parallel = ScalingStudy::run(parallel_cfg);
+
+    ASSERT_EQ(serial.series.size(), parallel.series.size());
+    for (std::size_t si = 0; si < serial.series.size(); ++si) {
+        const auto &s = serial.series[si];
+        const auto &p = parallel.series[si];
+        ASSERT_EQ(s.points.size(), p.points.size());
+        for (std::size_t i = 0; i < s.points.size(); ++i) {
+            SCOPED_TRACE("repeats point " + std::to_string(i));
+            expectBitIdentical(s.points[i], p.points[i]);
+        }
+    }
+}
+
 TEST(StudyParallel, JobsZeroSelectsHardwareConcurrency)
 {
     // jobs=0 (auto) must run and produce the same grid shape; the
