@@ -40,6 +40,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "core/des_grid.hh"
 #include "core/experiment.hh"
 #include "core/repeat.hh"
 #include "db/buffer_cache.hh"
@@ -1652,6 +1653,75 @@ main(int argc, char **argv)
                      "(ODBSIM_HOTPATH_100X=0)\n");
     }
 
+    // Conservative parallel DES: one S-island shared-nothing
+    // deployment measured on the shared-queue oracle, then on the
+    // parallel engine at 1 and S workers. All three digests must
+    // agree (fatal — the engine's whole contract is bit-exactness);
+    // the 1-vs-S wall-clock gate only arms when the host actually has
+    // S cores to run the islands on. The 100x switch picks between
+    // the full-size deployment and a quick small one.
+    constexpr unsigned kDesIslands = 4;
+    const bool des_gate = host_cores >= kDesIslands;
+    std::fprintf(stderr,
+                 "[hotpath] parallel DES (S=%u islands, oracle vs "
+                 "1 vs %u workers)...\n",
+                 kDesIslands, kDesIslands);
+    core::DesGridConfig dcfg;
+    dcfg.islands = kDesIslands;
+    if (run_100x) {
+        dcfg.warehousesPerIsland = 10;
+        dcfg.cpusPerIsland = 4;
+        dcfg.warmup = ticksFromMs(50.0);
+        dcfg.measure = ticksFromMs(250.0);
+    } else {
+        dcfg.warehousesPerIsland = 2;
+        dcfg.cpusPerIsland = 2;
+        dcfg.clientsPerIsland = 6;
+        dcfg.warmup = ticksFromMs(20.0);
+        dcfg.measure = ticksFromMs(60.0);
+    }
+    dcfg.oracle = true;
+    const core::DesGridResult des_oracle = core::runDesGridPoint(dcfg);
+    dcfg.oracle = false;
+    double des1_wall = 0.0, desS_wall = 0.0;
+    std::uint64_t des1_digest = 0, desS_digest = 0;
+    for (int rep = 0; rep < 2; ++rep) {
+        dcfg.desThreads = 1;
+        const core::DesGridResult a = core::runDesGridPoint(dcfg);
+        dcfg.desThreads = kDesIslands;
+        const core::DesGridResult b = core::runDesGridPoint(dcfg);
+        des1_wall = rep == 0 ? a.wallSeconds
+                             : std::min(des1_wall, a.wallSeconds);
+        desS_wall = rep == 0 ? b.wallSeconds
+                             : std::min(desS_wall, b.wallSeconds);
+        des1_digest = a.digest;
+        desS_digest = b.digest;
+    }
+    if (des1_digest != des_oracle.digest ||
+        desS_digest != des_oracle.digest) {
+        std::fprintf(
+            stderr,
+            "[hotpath] FATAL: parallel DES digests diverge "
+            "(oracle %llu, 1-worker %llu, %u-worker %llu) — the "
+            "engine is not bit-exact against the serial oracle\n",
+            static_cast<unsigned long long>(des_oracle.digest),
+            static_cast<unsigned long long>(des1_digest), kDesIslands,
+            static_cast<unsigned long long>(desS_digest));
+        return 1;
+    }
+    const double des_speedup = des1_wall / desS_wall;
+    std::fprintf(stderr,
+                 "[hotpath]   1-worker  %.3fs\n"
+                 "[hotpath]   %u-worker  %.3fs\n"
+                 "[hotpath]   speedup_vs_serial %.2fx "
+                 "(%llu epochs, %llu cross events, digests "
+                 "identical)\n",
+                 des1_wall, kDesIslands, desS_wall, des_speedup,
+                 static_cast<unsigned long long>(
+                     des_oracle.epochBarriers),
+                 static_cast<unsigned long long>(
+                     des_oracle.crossDelivered));
+
     std::FILE *f = std::fopen(out_path, "w");
     if (!f) {
         std::fprintf(stderr, "[hotpath] cannot write %s\n", out_path);
@@ -1768,6 +1838,19 @@ main(int argc, char **argv)
         "    \"speedup_vs_serial\": %.3f,\n"
         "    \"bitwise_cross_check\": \"passed\"\n"
         "  },\n"
+        "  \"des_parallel\": {\n"
+        "    \"islands\": %u,\n"
+        "    \"warehouses_per_island\": %u,\n"
+        "    \"host_cores\": %u,\n"
+        "    \"speedup_gate_active\": %s,\n"
+        "    \"lookahead_ticks\": %llu,\n"
+        "    \"epoch_barriers\": %llu,\n"
+        "    \"cross_events\": %llu,\n"
+        "    \"serial_wall_seconds\": %.3f,\n"
+        "    \"parallel_wall_seconds\": %.3f,\n"
+        "    \"speedup_vs_serial\": %.3f,\n"
+        "    \"digest_cross_check\": \"passed\"\n"
+        "  },\n"
         "  \"provenance\": {\n"
         "    \"compiler\": \"%s\",\n"
         "    \"build_type\": \"%s\",\n"
@@ -1794,7 +1877,13 @@ main(int argc, char **argv)
         static_cast<unsigned long long>(big.eventsFired),
         big.eventsPerSec(), big.tps, run_100x ? "false" : "true",
         kIntraW, kIntraP, kIntraRepeats, kShardThreads,
-        intra_serial_wall, intra_par_wall, intra_speedup, __VERSION__,
+        intra_serial_wall, intra_par_wall, intra_speedup, kDesIslands,
+        dcfg.warehousesPerIsland, host_cores,
+        des_gate ? "true" : "false",
+        static_cast<unsigned long long>(des_oracle.lookahead),
+        static_cast<unsigned long long>(des_oracle.epochBarriers),
+        static_cast<unsigned long long>(des_oracle.crossDelivered),
+        des1_wall, desS_wall, des_speedup, __VERSION__,
         ODBSIM_BUILD_TYPE, ODBSIM_GIT_REV);
     std::fclose(f);
     std::fprintf(stderr, "[hotpath] wrote %s\n", out_path);
@@ -1854,6 +1943,13 @@ main(int argc, char **argv)
                      "[hotpath] WARNING: work-stealing pool speedup "
                      "%.2fx is below the 1.3x gate\n",
                      pool_speedup);
+        rc = 2;
+    }
+    if (des_gate && des_speedup < 1.3) {
+        std::fprintf(stderr,
+                     "[hotpath] WARNING: parallel DES speedup %.2fx "
+                     "is below the 1.3x gate\n",
+                     des_speedup);
         rc = 2;
     }
     return rc;

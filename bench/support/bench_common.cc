@@ -62,11 +62,30 @@ unsigned g_replay_threads = []() -> unsigned {
     return v >= 0 ? static_cast<unsigned>(v) : 1;
 }();
 
+/** DES worker threads; seeded from ODBSIM_DES_THREADS. */
+unsigned g_des_threads = []() -> unsigned {
+    const char *env = std::getenv("ODBSIM_DES_THREADS");
+    if (!env)
+        return 1;
+    const long v = std::strtol(env, nullptr, 10);
+    return v >= 0 ? static_cast<unsigned>(v) : 1;
+}();
+
+/** Study-cache CSV directory; resolution order is --csv-dir >
+ *  ODBSIM_CSV_DIR > ODBSIM_CACHE_DIR (legacy) > dir(argv[0]),
+ *  finalized by parseArgs(). */
+std::string g_csv_dir = []() -> std::string {
+    if (const char *env = std::getenv("ODBSIM_CSV_DIR"))
+        return env;
+    if (const char *env = std::getenv("ODBSIM_CACHE_DIR"))
+        return env;
+    return {};
+}();
+
 std::string
 cachePath(core::MachineKind machine)
 {
-    const char *dir = std::getenv("ODBSIM_CACHE_DIR");
-    std::string path = dir ? dir : ".";
+    std::string path = csvDir();
     path += "/odbsim_study_";
     path += core::toString(machine);
     path += ".csv";
@@ -162,7 +181,29 @@ parseArgs(int argc, char **argv)
                 continue;
             }
             g_replay_threads = static_cast<unsigned>(v);
+        } else if (std::strcmp(argv[i], "--des-threads") == 0 &&
+                   i + 1 < argc) {
+            const long v = std::strtol(argv[++i], nullptr, 10);
+            if (v < 0) {
+                std::fprintf(stderr,
+                             "[bench] ignoring negative "
+                             "--des-threads\n");
+                continue;
+            }
+            g_des_threads = static_cast<unsigned>(v);
+        } else if (std::strcmp(argv[i], "--csv-dir") == 0 &&
+                   i + 1 < argc) {
+            g_csv_dir = argv[++i];
         }
+    }
+    // No explicit directory anywhere: default to the directory holding
+    // the bench binary (the build tree), so caches land in one
+    // predictable place no matter where the bench is invoked from.
+    if (g_csv_dir.empty() && argc > 0 && argv[0]) {
+        const std::string self = argv[0];
+        const std::size_t slash = self.rfind('/');
+        if (slash != std::string::npos && slash > 0)
+            g_csv_dir = self.substr(0, slash);
     }
 }
 
@@ -196,15 +237,29 @@ replayThreads()
     return g_replay_threads;
 }
 
+unsigned
+desThreads()
+{
+    return g_des_threads;
+}
+
+const std::string &
+csvDir()
+{
+    static const std::string dot = ".";
+    return g_csv_dir.empty() ? dot : g_csv_dir;
+}
+
 void
 applyEngineKnobs(core::RunKnobs &knobs)
 {
     knobs.dbShards = g_shards;
     knobs.eventQueue = g_eq_kind;
-    // Host-execution knob, not an engine knob: any value produces
-    // bit-identical metrics (like --jobs), so it deliberately does not
+    // Host-execution knobs, not engine knobs: any value produces
+    // bit-identical metrics (like --jobs), so they deliberately do not
     // join the cache-bypass predicate in sharedStudy() below.
     knobs.replayThreads = g_replay_threads;
+    knobs.desThreads = g_des_threads;
 }
 
 void

@@ -41,7 +41,18 @@ std::vector<unsigned> figureWarehouseGrid();
  *    threads for the intra-run replay-side parallel phases (sharded
  *    instant-warm prefill; 1 = serial default, 0 = one per hardware
  *    thread). A host-execution knob like `--jobs`: metrics are
- *    bit-identical at any value, so it does not bypass the CSV cache.
+ *    bit-identical at any value, so it does not bypass the CSV cache;
+ *  - `--des-threads N` (env `ODBSIM_DES_THREADS`): DES worker threads
+ *    for the conservative parallel event engine (island-per-thread;
+ *    1 = serial default, 0 = one per hardware thread). A
+ *    host-execution knob like `--jobs` and `--replay-threads`:
+ *    metrics are bit-identical at any value, so it does not bypass
+ *    the CSV cache;
+ *  - `--csv-dir DIR` (env `ODBSIM_CSV_DIR`; legacy `ODBSIM_CACHE_DIR`
+ *    still honoured): directory for the shared study-cache CSVs (and
+ *    their profile sidecars). Defaults to the directory holding the
+ *    bench binary — the build tree — so stray CSVs never land in the
+ *    source tree or whatever directory the bench was invoked from.
  *
  * Flags win over the environment. Unknown arguments are ignored so
  * bench-specific flags can coexist. Results are seed-deterministic
@@ -67,6 +78,14 @@ EventQueueKind eventQueueKind();
 /** Replay-side worker threads selected by
  *  --replay-threads/ODBSIM_REPLAY_THREADS (default 1). */
 unsigned replayThreads();
+
+/** DES worker threads selected by --des-threads/ODBSIM_DES_THREADS
+ *  (default 1). */
+unsigned desThreads();
+
+/** Study-cache CSV directory selected by --csv-dir/ODBSIM_CSV_DIR
+ *  (default: the directory holding the bench binary). */
+const std::string &csvDir();
 
 /** Apply the parsed engine knobs (shards, event queue) to @p knobs. */
 void applyEngineKnobs(core::RunKnobs &knobs);

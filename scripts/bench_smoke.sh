@@ -6,10 +6,15 @@
 # speedup gates and cross-checks the flat directory against the legacy
 # implementation), then regenerates both scaling-study CSVs into
 # scratch caches — once serially, once with the parallel
-# longest-first scheduler (--jobs 0), and once with --jobs 3
-# --replay-threads 2 (host-execution knobs must be invisible in the
-# output) — and diffs every regeneration against the goldens
-# committed at the repo root.
+# longest-first scheduler (--jobs 0), once with --des-threads 4 (the
+# conservative parallel DES engine), and once with --jobs 3
+# --replay-threads 2 --des-threads 4 (every host-execution knob at
+# once must be invisible in the output) — and diffs every
+# regeneration against the goldens committed at the repo root.
+#
+# Every bench invocation pins ODBSIM_CSV_DIR to a scratch directory
+# (removed on exit), so the script never leaves stray study CSVs in
+# the source tree or the invoking directory.
 #
 # Any single differing CSV byte fails the script. A perf-gate miss
 # (bench exit code 2) fails the script unless ODBSIM_PERF_GATE=warn,
@@ -79,34 +84,47 @@ echo "== regenerate study CSVs with a cold cache (serial) =="
 cache_serial="$(mktemp -d)"
 cache_parallel="$(mktemp -d)"
 trap 'rm -rf "$cache_serial" "$cache_parallel"' EXIT
-ODBSIM_CACHE_DIR="$cache_serial" "$build_dir/bench/bench_fig09_cpi" > /dev/null
-ODBSIM_CACHE_DIR="$cache_serial" "$build_dir/bench/bench_fig19_itanium2" > /dev/null
+ODBSIM_CSV_DIR="$cache_serial" "$build_dir/bench/bench_fig09_cpi" > /dev/null
+ODBSIM_CSV_DIR="$cache_serial" "$build_dir/bench/bench_fig19_itanium2" > /dev/null
 check_goldens "$cache_serial" "serial"
 
 echo "== regenerate study CSVs with a cold cache (--jobs 0, longest-first) =="
-ODBSIM_CACHE_DIR="$cache_parallel" "$build_dir/bench/bench_fig09_cpi" -j 0 > /dev/null
-ODBSIM_CACHE_DIR="$cache_parallel" "$build_dir/bench/bench_fig19_itanium2" -j 0 > /dev/null
+ODBSIM_CSV_DIR="$cache_parallel" "$build_dir/bench/bench_fig09_cpi" -j 0 > /dev/null
+ODBSIM_CSV_DIR="$cache_parallel" "$build_dir/bench/bench_fig19_itanium2" -j 0 > /dev/null
 check_goldens "$cache_parallel" "parallel"
 
-echo "== regenerate study CSVs with a cold cache (--jobs 3 --replay-threads 2) =="
-# Odd worker count plus intra-run replay threads: both are
-# host-execution knobs, so the goldens must still come out byte-exact
-# (--replay-threads deliberately does not bypass the CSV cache — see
+echo "== regenerate study CSVs with a cold cache (--des-threads 4) =="
+# The conservative parallel DES engine is a host-execution knob: the
+# committed goldens must come out byte-exact at any worker count
+# (--des-threads deliberately does not bypass the CSV cache — see
 # EXPERIMENTS.md).
+cache_des="$(mktemp -d)"
+trap 'rm -rf "$cache_serial" "$cache_parallel" "$cache_des"' EXIT
+ODBSIM_CSV_DIR="$cache_des" "$build_dir/bench/bench_fig09_cpi" \
+    --des-threads 4 > /dev/null
+ODBSIM_CSV_DIR="$cache_des" "$build_dir/bench/bench_fig19_itanium2" \
+    --des-threads 4 > /dev/null
+check_goldens "$cache_des" "des-threads4"
+
+echo "== regenerate study CSVs with a cold cache (--jobs 3 --replay-threads 2 --des-threads 4) =="
+# Every host-execution knob at once: odd study worker count, intra-run
+# replay threads, and the parallel DES engine. The goldens must still
+# come out byte-exact (none of these knobs bypasses the CSV cache —
+# see EXPERIMENTS.md).
 cache_replay="$(mktemp -d)"
-trap 'rm -rf "$cache_serial" "$cache_parallel" "$cache_replay"' EXIT
-ODBSIM_CACHE_DIR="$cache_replay" "$build_dir/bench/bench_fig09_cpi" \
-    --jobs 3 --replay-threads 2 > /dev/null
-ODBSIM_CACHE_DIR="$cache_replay" "$build_dir/bench/bench_fig19_itanium2" \
-    --jobs 3 --replay-threads 2 > /dev/null
-check_goldens "$cache_replay" "jobs3+replay2"
+trap 'rm -rf "$cache_serial" "$cache_parallel" "$cache_des" "$cache_replay"' EXIT
+ODBSIM_CSV_DIR="$cache_replay" "$build_dir/bench/bench_fig09_cpi" \
+    --jobs 3 --replay-threads 2 --des-threads 4 > /dev/null
+ODBSIM_CSV_DIR="$cache_replay" "$build_dir/bench/bench_fig19_itanium2" \
+    --jobs 3 --replay-threads 2 --des-threads 4 > /dev/null
+check_goldens "$cache_replay" "jobs3+replay2+des4"
 
 echo "== islands deployment sweep (serial vs --jobs 0 must be bit-identical) =="
 # The sweep self-checks its crossover physics (exit 3 on failure); the
 # serial and parallel CSVs are then diffed for the determinism
 # contract. The islands CSV is derived output, not a committed golden.
-ODBSIM_CACHE_DIR="$cache_serial" "$build_dir/bench/bench_islands" > /dev/null
-ODBSIM_CACHE_DIR="$cache_parallel" "$build_dir/bench/bench_islands" -j 0 > /dev/null
+ODBSIM_CSV_DIR="$cache_serial" "$build_dir/bench/bench_islands" > /dev/null
+ODBSIM_CSV_DIR="$cache_parallel" "$build_dir/bench/bench_islands" -j 0 > /dev/null
 if diff -q "$cache_serial/odbsim_islands_xeon-quad-mp.csv" \
         "$cache_parallel/odbsim_islands_xeon-quad-mp.csv" > /dev/null; then
     echo "OK  odbsim_islands_xeon-quad-mp.csv is bit-identical (serial vs parallel)"
@@ -122,8 +140,8 @@ echo "== fault degradation study (serial vs --jobs 0 must be bit-identical) =="
 # for the determinism contract. Note the scale-0 baseline rows inside
 # the CSV run with the default (inert) fault plan, so this section
 # also exercises the inertness path end to end.
-ODBSIM_CACHE_DIR="$cache_serial" "$build_dir/bench/bench_faults" > /dev/null
-ODBSIM_CACHE_DIR="$cache_parallel" "$build_dir/bench/bench_faults" -j 0 > /dev/null
+ODBSIM_CSV_DIR="$cache_serial" "$build_dir/bench/bench_faults" > /dev/null
+ODBSIM_CSV_DIR="$cache_parallel" "$build_dir/bench/bench_faults" -j 0 > /dev/null
 if diff -q "$cache_serial/odbsim_faults_xeon-quad-mp.csv" \
         "$cache_parallel/odbsim_faults_xeon-quad-mp.csv" > /dev/null; then
     echo "OK  odbsim_faults_xeon-quad-mp.csv is bit-identical (serial vs parallel)"

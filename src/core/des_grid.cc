@@ -1,0 +1,232 @@
+#include "core/des_grid.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <memory>
+
+#include "core/client_table.hh"
+#include "db/database.hh"
+#include "odb/server_process.hh"
+#include "odb/workload.hh"
+#include "os/system.hh"
+#include "sim/logging.hh"
+#include "sim/parallel_engine.hh"
+
+namespace odbsim::core
+{
+namespace
+{
+
+/** One shared-nothing database instance bound to an island queue. */
+struct IslandInstance
+{
+    std::unique_ptr<os::System> sys;
+    std::unique_ptr<db::Database> db;
+    std::unique_ptr<odb::OdbWorkload> workload;
+};
+
+void
+fnv(std::uint64_t &h, std::uint64_t v)
+{
+    for (int i = 0; i < 8; ++i) {
+        h ^= (v >> (8 * i)) & 0xff;
+        h *= 0x100000001b3ULL;
+    }
+}
+
+/**
+ * Self-rescheduling emitter of one island's coordination traffic:
+ * picks a peer and a payload from the island-local stream, sends the
+ * message at now + latency (>= the engine lookahead by construction),
+ * and re-arms after an exponential gap. Lives in island @p island's
+ * execution, so every draw is bit-identical at any worker count.
+ */
+struct CoordDriver
+{
+    sim::ParallelEngine *engine = nullptr;
+    unsigned island = 0;
+    unsigned islands = 1;
+    Rng rng{0};
+    double meanIntervalTicks = 1.0;
+    Tick latency = 1;
+    std::uint64_t instr = 0;
+    std::vector<IslandInstance> *instances = nullptr;
+    std::vector<std::uint64_t> *received = nullptr;
+
+    Tick
+    nextGap()
+    {
+        const double g = rng.exponential(meanIntervalTicks);
+        return g < 1.0 ? Tick{1} : static_cast<Tick>(g);
+    }
+
+    void
+    arm()
+    {
+        const Tick now = engine->islandQueue(island).curTick();
+        engine->schedule(island, now + nextGap(), [this] { fire(); });
+    }
+
+    void
+    fire()
+    {
+        const Tick now = engine->islandQueue(island).curTick();
+        unsigned tgt = static_cast<unsigned>(rng.below(islands - 1));
+        if (tgt >= island)
+            ++tgt;
+        const std::uint64_t payload = rng.next();
+        IslandInstance *inst = &(*instances)[tgt];
+        std::uint64_t *rcv = &(*received)[tgt];
+        const std::uint64_t cost = instr;
+        // The remote end pays the coordination tax on its next
+        // dispatch of the addressed server — the same modelling as
+        // PlacementConfig::crossIslandCoordInstr, but paid across
+        // instances through the engine's merge-ordered delivery.
+        engine->sendCross(island, tgt, now + latency,
+                          [inst, rcv, payload, cost] {
+                              ++*rcv;
+                              odb::OdbWorkload &w = *inst->workload;
+                              inst->sys->chargeKernel(
+                                  w.server(payload % w.clients()), cost);
+                          });
+        engine->schedule(island, now + nextGap(), [this] { fire(); });
+    }
+};
+
+} // namespace
+
+DesGridResult
+runDesGridPoint(const DesGridConfig &cfg)
+{
+    odbsim_assert(cfg.islands >= 1, "DesGridConfig: islands must be >= 1");
+
+    // A throwaway preset resolves the machine's core clock so the
+    // interconnect hop latency converts to ticks.
+    const MachinePreset clock_probe =
+        makeMachine(cfg.machine, cfg.cpusPerIsland, cfg.samplePeriod,
+                    cfg.seed);
+    const ClockDomain clock(clock_probe.sys.core.freqHz);
+
+    // Effective lookahead: the interconnect's minimum cross-socket
+    // latency is the hard floor; the coordination-latency floor keeps
+    // the epoch grid at control-message granularity (see des_grid.hh).
+    Tick lookahead = 0;
+    if (cfg.islands > 1) {
+        unsigned min_hops = mem::socketHops(0, 1, cfg.islands);
+        for (unsigned s = 2; s < cfg.islands; ++s)
+            min_hops =
+                std::min(min_hops, mem::socketHops(0, s, cfg.islands));
+        const Tick hop_ticks = clock.cyclesToTicks(
+            cfg.interconnect.hopLatencyCycles * min_hops);
+        lookahead = std::max(hop_ticks, ticksFromUs(cfg.coordLatencyUs));
+        odbsim_assert(lookahead > 0, "degenerate lookahead");
+    }
+
+    sim::ParallelEngineConfig ecfg;
+    ecfg.islands = cfg.islands;
+    ecfg.lookahead = lookahead;
+    ecfg.workers = cfg.desThreads;
+    ecfg.oracle = cfg.oracle;
+    sim::ParallelEngine engine(ecfg);
+
+    std::vector<IslandInstance> instances(cfg.islands);
+    std::vector<std::uint64_t> received(cfg.islands, 0);
+    for (unsigned i = 0; i < cfg.islands; ++i) {
+        const std::uint64_t iseed = desIslandSeed(cfg.seed, i);
+        const MachinePreset preset = makeMachine(
+            cfg.machine, cfg.cpusPerIsland, cfg.samplePeriod, iseed);
+        os::SystemConfig syscfg = preset.sys;
+        syscfg.desThreads = cfg.desThreads;
+        auto sys =
+            std::make_unique<os::System>(syscfg, &engine.islandQueue(i));
+
+        db::DatabaseConfig dbcfg;
+        dbcfg.schema.warehouses = cfg.warehousesPerIsland;
+        dbcfg.schema.seed = iseed;
+        dbcfg.cacheWarehouseEquivalents = preset.cacheWarehouseEquivalents;
+        auto db = std::make_unique<db::Database>(*sys, dbcfg);
+        db->start();
+
+        const unsigned clients =
+            cfg.clientsPerIsland
+                ? cfg.clientsPerIsland
+                : paperClients(cfg.warehousesPerIsland, cfg.cpusPerIsland);
+        odb::WorkloadConfig wcfg;
+        wcfg.clients = clients;
+        wcfg.seed = iseed * 7919 + cfg.warehousesPerIsland;
+        auto workload = std::make_unique<odb::OdbWorkload>(*db, wcfg);
+        workload->start();
+        db->instantWarm({}, 1);
+
+        instances[i] = {std::move(sys), std::move(db),
+                        std::move(workload)};
+    }
+
+    // Coordination drivers: stored in a pre-sized vector so the
+    // this-pointers captured by their events stay stable.
+    std::vector<CoordDriver> drivers(cfg.islands);
+    if (cfg.islands > 1 && cfg.coordIntervalUs > 0.0) {
+        for (unsigned i = 0; i < cfg.islands; ++i) {
+            CoordDriver &d = drivers[i];
+            d.engine = &engine;
+            d.island = i;
+            d.islands = cfg.islands;
+            d.rng = Rng(desIslandSeed(cfg.seed, i) ^ 0xc00dULL);
+            d.meanIntervalTicks =
+                static_cast<double>(ticksFromUs(cfg.coordIntervalUs));
+            d.latency = lookahead;
+            d.instr = cfg.coordInstr;
+            d.instances = &instances;
+            d.received = &received;
+            d.arm();
+        }
+    }
+
+    const auto wall_start = std::chrono::steady_clock::now();
+    engine.run(cfg.warmup);
+    for (auto &inst : instances) {
+        inst.sys->beginMeasurement();
+        inst.workload->resetStats();
+        inst.db->resetStats();
+    }
+    engine.run(cfg.warmup + cfg.measure);
+    const double wall =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      wall_start)
+            .count();
+
+    DesGridResult r;
+    r.islands = cfg.islands;
+    r.workers = engine.workers();
+    r.lookahead = lookahead;
+    r.committedPerIsland.resize(cfg.islands);
+    r.coordReceived = received;
+    std::uint64_t digest = 0xcbf29ce484222325ULL;
+    for (unsigned i = 0; i < cfg.islands; ++i) {
+        const IslandInstance &inst = instances[i];
+        const std::uint64_t committed = inst.workload->committed();
+        r.committedPerIsland[i] = committed;
+        r.committed += committed;
+        r.tps += inst.workload->tps(inst.sys->measurementWindow());
+        fnv(digest, committed);
+        for (unsigned t = 0; t < db::numTxnTypes; ++t)
+            fnv(digest, inst.workload->committed(
+                            static_cast<db::TxnType>(t)));
+        fnv(digest, inst.sys->sched().contextSwitches());
+        fnv(digest, inst.sys->disks().dataReads());
+        fnv(digest, received[i]);
+    }
+    r.eventsFired = engine.eventsFired();
+    r.crossSent = engine.crossSent();
+    r.crossDelivered = engine.crossDelivered();
+    r.epochBarriers = engine.epochBarriers();
+    fnv(digest, r.eventsFired);
+    fnv(digest, r.crossSent);
+    fnv(digest, r.crossDelivered);
+    fnv(digest, r.epochBarriers);
+    r.digest = digest;
+    r.wallSeconds = wall;
+    return r;
+}
+
+} // namespace odbsim::core

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * DesGridPoint: an island-decomposed deployment of the OLTP grid point
+ * for the conservative parallel DES engine.
+ *
+ * The paper's grid points are single coherence domains — one System,
+ * one shared lock manager, one scheduler — which is exactly the S=1
+ * degenerate case of sim::ParallelEngine (the serial engine, taken by
+ * every golden run regardless of --des-threads). The deployment that
+ * *earns* parallel DES is the hardware-islands one from docs/
+ * TOPOLOGY.md: one database instance per socket, shared-nothing inside
+ * the box, coupled only through cross-socket coordination traffic
+ * (distributed-commit control messages) that cannot arrive sooner than
+ * the interconnect latency. runDesGridPoint() builds that: S complete
+ * System+Database+Workload instances, each bound to its island's event
+ * queue, exchanging coordination messages through the engine with the
+ * interconnect-derived lookahead.
+ *
+ * Every per-island RNG stream is derived from (seed, island), and
+ * cross-island interaction happens only through ParallelEngine's
+ * merge-ordered delivery, so the whole deployment — every commit
+ * count, latency histogram and coordination counter — is bit-identical
+ * at any worker count and to the shared-queue oracle. The digest field
+ * condenses that into one comparable word.
+ */
+
+#ifndef ODBSIM_CORE_DES_GRID_HH
+#define ODBSIM_CORE_DES_GRID_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "core/machine.hh"
+#include "mem/topology.hh"
+#include "sim/types.hh"
+
+namespace odbsim::core
+{
+
+/** One island-decomposed deployment (see file comment). */
+struct DesGridConfig
+{
+    /** Database instances — one per socket/island. */
+    unsigned islands = 4;
+    /** Workload scale of each instance, in warehouses. */
+    unsigned warehousesPerIsland = 10;
+    /** Processors of each instance's machine preset. */
+    unsigned cpusPerIsland = 4;
+    /** Clients per instance; 0 selects the paper's Table 1 value. */
+    unsigned clientsPerIsland = 0;
+    /** Machine preset each instance runs on. */
+    MachineKind machine = MachineKind::XeonQuadMp;
+    /** Interconnect shape between the islands; sockets is overridden
+     *  to the island count. hopLatencyCycles × min hops is the hard
+     *  lower bound on the engine lookahead. */
+    mem::TopologyConfig interconnect;
+    /** Dynamic warm-up before the measurement window, in ticks. */
+    Tick warmup = ticksFromSeconds(0.1);
+    /** Measurement window, in ticks. */
+    Tick measure = ticksFromSeconds(0.5);
+    /** CPU-model set-sampling factor. */
+    std::uint32_t samplePeriod = 16;
+    /** Master seed; all per-island streams derive from it. */
+    std::uint64_t seed = 42;
+    /** DES worker threads (RunKnobs::desThreads semantics: 1 serial,
+     *  0 = hardware concurrency; bit-identical at any value). */
+    unsigned desThreads = 1;
+    /** Run on the shared-queue differential oracle instead of the
+     *  per-island queues (single-threaded by construction). */
+    bool oracle = false;
+    /** Mean interval between coordination messages an island emits,
+     *  in simulated microseconds (exponentially distributed). */
+    double coordIntervalUs = 200.0;
+    /**
+     * Minimum latency of a coordination message, in simulated
+     * microseconds. The effective engine lookahead is
+     * max(interconnect hop latency, this) — control messages queue
+     * behind real work at the remote end, so their floor is far above
+     * one interconnect hop, which keeps the epoch count sane.
+     */
+    double coordLatencyUs = 50.0;
+    /** Kernel instructions the receiving server pays per coordination
+     *  message (the cross-island coordination tax). */
+    std::uint64_t coordInstr = 400000;
+};
+
+/** Aggregate outcome of one island-decomposed deployment run. */
+struct DesGridResult
+{
+    unsigned islands = 0;
+    /** Resolved engine worker count. */
+    unsigned workers = 0;
+    /** Effective lookahead the epochs were derived from, in ticks. */
+    Tick lookahead = 0;
+    /** Committed transactions, summed and per island. */
+    std::uint64_t committed = 0;
+    std::vector<std::uint64_t> committedPerIsland;
+    /** Coordination messages received per island. */
+    std::vector<std::uint64_t> coordReceived;
+    /** Aggregate transactions per second over the window. */
+    double tps = 0.0;
+    /** Engine counters over the whole run. */
+    std::uint64_t eventsFired = 0;
+    std::uint64_t crossSent = 0;
+    std::uint64_t crossDelivered = 0;
+    std::uint64_t epochBarriers = 0;
+    /**
+     * FNV-1a digest of every per-island observable (commit counts per
+     * type, context switches, disk reads, coordination receipts) in
+     * island order plus the engine totals — the word the parallel
+     * path is cross-checked against the oracle with.
+     */
+    std::uint64_t digest = 0;
+    /** Host wall-clock seconds spent inside ParallelEngine::run. */
+    double wallSeconds = 0.0;
+};
+
+/** Seed of island @p i's instance streams under master @p seed. */
+constexpr std::uint64_t
+desIslandSeed(std::uint64_t seed, unsigned i)
+{
+    return seed + 1000003ULL * (i + 1);
+}
+
+/** Build and run one island-decomposed deployment. */
+DesGridResult runDesGridPoint(const DesGridConfig &cfg);
+
+} // namespace odbsim::core
+
+#endif // ODBSIM_CORE_DES_GRID_HH

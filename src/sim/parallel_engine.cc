@@ -1,0 +1,214 @@
+#include "sim/parallel_engine.hh"
+
+#include <algorithm>
+#include <thread>
+
+#include "sim/logging.hh"
+#include "sim/thread_pool.hh"
+
+namespace odbsim::sim
+{
+
+ParallelEngine::ParallelEngine(const ParallelEngineConfig &cfg) : cfg_(cfg)
+{
+    if (cfg_.islands == 0)
+        odbsim_fatal("ParallelEngine: islands must be >= 1");
+    if (cfg_.islands > 1 && cfg_.lookahead == 0)
+        odbsim_fatal("ParallelEngine: islands=", cfg_.islands,
+                     " requires a positive lookahead");
+
+    const unsigned nq = (cfg_.oracle || cfg_.islands == 1) ? 1 : cfg_.islands;
+    queues_.reserve(nq);
+    for (unsigned i = 0; i < nq; ++i)
+        queues_.push_back(std::make_unique<EventQueue>(cfg_.kind));
+
+    if (cfg_.islands > 1) {
+        boxes_.resize(std::size_t{cfg_.islands} * cfg_.islands);
+        for (unsigned s = 0; s < cfg_.islands; ++s)
+            for (unsigned d = 0; d < cfg_.islands; ++d)
+                if (s != d)
+                    boxes_[std::size_t{s} * cfg_.islands + d] =
+                        std::make_unique<SpscMailbox>();
+    }
+    sendSeq_.assign(cfg_.islands, 0);
+    sentCount_.assign(cfg_.islands, 0);
+
+    workers_ = cfg_.workers;
+    if (workers_ == 0) {
+        workers_ = std::thread::hardware_concurrency();
+        if (workers_ == 0)
+            workers_ = 1;
+    }
+    workers_ = std::min(workers_, cfg_.islands);
+    if (cfg_.oracle)
+        workers_ = 1;
+    if (workers_ > 1)
+        pool_ = std::make_unique<ThreadPool>(workers_);
+}
+
+ParallelEngine::~ParallelEngine() = default;
+
+std::uint64_t
+ParallelEngine::admitSend(unsigned from, unsigned to, Tick when)
+{
+    if (from >= cfg_.islands || to >= cfg_.islands)
+        odbsim_fatal("ParallelEngine::sendCross: island out of range (",
+                     from, " -> ", to, ", islands=", cfg_.islands, ")");
+    if (!direct()) {
+        if (from == to)
+            odbsim_fatal("ParallelEngine::sendCross: island ", from,
+                         " sending to itself; use schedule()");
+        const Tick now = islandQueue(from).curTick();
+        const Tick boundary = (now / cfg_.lookahead + 1) * cfg_.lookahead;
+        if (when < boundary)
+            odbsim_fatal("ParallelEngine::sendCross: lookahead violation: "
+                         "island ", from, " at tick ", now, " sent an event "
+                         "for tick ", when, " < next epoch boundary ",
+                         boundary, " (lookahead ", cfg_.lookahead, ")");
+    }
+    ++sentCount_[from];
+    return sendSeq_[from]++;
+}
+
+void
+ParallelEngine::runPhase(Tick target)
+{
+    if (queues_.size() == 1) {
+        queues_[0]->run(target);
+        return;
+    }
+    if (workers_ > 1) {
+        pool_->parallelFor(queues_.size(), [this, target](std::size_t i) {
+            queues_[i]->run(target);
+        });
+    } else {
+        for (auto &q : queues_)
+            q->run(target);
+    }
+}
+
+void
+ParallelEngine::mergeBarrier()
+{
+    // The merge key (srcWhen, srcIsland, srcSeq) is total and unique
+    // (srcSeq never repeats within a source island), so plain sort is
+    // deterministic. Oracle mode merges globally into the shared
+    // queue; parallel mode merges per destination — the destination's
+    // sublist of the global order is in the same relative order, which
+    // is the bit-exactness argument.
+    const auto before = [](const CrossEvent &a, const CrossEvent &b) {
+        if (a.srcWhen != b.srcWhen)
+            return a.srcWhen < b.srcWhen;
+        if (a.srcIsland != b.srcIsland)
+            return a.srcIsland < b.srcIsland;
+        return a.srcSeq < b.srcSeq;
+    };
+
+    if (cfg_.oracle) {
+        scratch_.clear();
+        for (unsigned s = 0; s < cfg_.islands; ++s)
+            for (unsigned d = 0; d < cfg_.islands; ++d)
+                if (s != d)
+                    mailbox(s, d).drainTo(scratch_);
+        std::sort(scratch_.begin(), scratch_.end(), before);
+        for (auto &ev : scratch_) {
+            odbsim_assert(ev.when > queues_[0]->curTick(),
+                          "cross event due in the past");
+            queues_[0]->schedule(ev.when, std::move(ev.cb));
+            ++crossDelivered_;
+        }
+        scratch_.clear();
+        return;
+    }
+
+    for (unsigned d = 0; d < cfg_.islands; ++d) {
+        scratch_.clear();
+        for (unsigned s = 0; s < cfg_.islands; ++s)
+            if (s != d)
+                mailbox(s, d).drainTo(scratch_);
+        if (scratch_.empty())
+            continue;
+        std::sort(scratch_.begin(), scratch_.end(), before);
+        EventQueue &q = *queues_[d];
+        for (auto &ev : scratch_) {
+            odbsim_assert(ev.when > q.curTick(),
+                          "cross event due in the past");
+            q.schedule(ev.when, std::move(ev.cb));
+            ++crossDelivered_;
+        }
+    }
+    scratch_.clear();
+}
+
+bool
+ParallelEngine::allQueuesEmpty() const
+{
+    for (const auto &q : queues_)
+        if (!q->empty())
+            return false;
+    return true;
+}
+
+bool
+ParallelEngine::allMailboxesEmpty() const
+{
+    for (const auto &b : boxes_)
+        if (b && !b->empty())
+            return false;
+    return true;
+}
+
+Tick
+ParallelEngine::run(Tick limit)
+{
+    if (direct()) {
+        queues_[0]->run(limit);
+        nextTick_ = limit + 1;
+        return limit;
+    }
+
+    const Tick L = cfg_.lookahead;
+    while (nextTick_ <= limit) {
+        if (allQueuesEmpty() && allMailboxesEmpty()) {
+            // Nothing pending anywhere and nothing parked: no event
+            // can fire before the limit, so fast-forward every island.
+            for (auto &q : queues_)
+                q->run(limit);
+            nextTick_ = limit + 1;
+            break;
+        }
+        const Tick boundary = (nextTick_ / L + 1) * L;
+        const Tick target = std::min(boundary - 1, limit);
+        runPhase(target);
+        nextTick_ = target + 1;
+        // Merge only at true epoch boundaries: a run() ending
+        // mid-epoch leaves sends parked, so the merge-batch structure
+        // depends only on the epoch grid, never on how a run is split
+        // into warmup/measure segments.
+        if (target == boundary - 1) {
+            mergeBarrier();
+            ++epochs_;
+        }
+    }
+    return curTick();
+}
+
+std::uint64_t
+ParallelEngine::eventsFired() const
+{
+    std::uint64_t total = 0;
+    for (const auto &q : queues_)
+        total += q->eventsFired();
+    return total;
+}
+
+std::uint64_t
+ParallelEngine::crossSent() const
+{
+    std::uint64_t total = 0;
+    for (std::uint64_t c : sentCount_)
+        total += c;
+    return total;
+}
+
+} // namespace odbsim::sim

@@ -1,0 +1,329 @@
+/**
+ * @file
+ * Conservative parallel discrete-event engine: island-per-worker
+ * partitioning of the simulation with epoch barriers at the
+ * interconnect lookahead.
+ *
+ * The model is partitioned into S islands (one logical process per
+ * socket). Each island owns a private timer-wheel EventQueue and is
+ * advanced by a worker thread up to an epoch horizon; islands interact
+ * *only* through sendCross(), which deposits the event into a pooled
+ * SPSC mailbox owned by the (source, destination) pair. At the epoch
+ * barrier the mailboxes are drained and the same-epoch deliveries are
+ * merged into the destination queues in (srcWhen, srcIsland, srcSeq)
+ * order — a total, unique key — so the firing order seen by every
+ * island, and therefore every RNG draw and counter, is bit-identical
+ * at any worker count.
+ *
+ * Conservative correctness: the lookahead L is the minimum cross-island
+ * latency (derived from the topology's hopLatencyCycles × hops), so an
+ * event sent while executing epoch k (ticks [kL, (k+1)L)) cannot be
+ * due before tick (k+1)L. Running each island to the end of epoch k
+ * and merging before any epoch-(k+1) event fires therefore never
+ * delivers an event into an island's past. sendCross() enforces the
+ * contract fatally: the delivery tick must lie at or beyond the
+ * sender's next epoch boundary.
+ *
+ * Degenerate and oracle modes:
+ *  - islands == 1 degenerates to the serial engine: one queue, plain
+ *    EventQueue::run, sendCross == schedule. All paper grid points
+ *    (one coherence domain) take this path, which is why golden CSVs
+ *    are byte-identical under any --des-threads value.
+ *  - ParallelEngineConfig::oracle runs *all* islands on one shared
+ *    queue, single-threaded, with the same epoch-deferred mailbox
+ *    delivery semantics. It is a genuinely different execution
+ *    strategy (global (when, seq) order instead of per-island queues
+ *    and epoch phases) kept as the differential oracle for the
+ *    parallel path — the same role EventQueueKind::heap plays for the
+ *    wheel — and whole-run digests are cross-checked against it in
+ *    bench_hotpath and the des_determinism_contract test.
+ *
+ * Threading: during a phase, worker i touches only island i's queue,
+ * island i's send-sequence counter and the (i, *) mailbox producer
+ * ends. Barriers run on the engine's owning thread after the
+ * work-stealing pool's parallelFor join, so mailbox consumer ends and
+ * the spill vectors are accessed race-free (the join is the
+ * happens-before edge).
+ */
+
+#ifndef ODBSIM_SIM_PARALLEL_ENGINE_HH
+#define ODBSIM_SIM_PARALLEL_ENGINE_HH
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "sim/event_queue.hh"
+#include "sim/types.hh"
+
+namespace odbsim
+{
+class ThreadPool;
+}
+
+namespace odbsim::sim
+{
+
+/** Construction options for ParallelEngine. */
+struct ParallelEngineConfig
+{
+    /** Number of islands (logical processes). 1 = serial engine. */
+    unsigned islands = 1;
+    /**
+     * Conservative lookahead L in ticks: the minimum latency of any
+     * cross-island interaction. Required > 0 when islands > 1; epoch
+     * boundaries sit at absolute multiples of L.
+     */
+    Tick lookahead = 0;
+    /**
+     * Host worker threads advancing islands; 0 selects
+     * hardware_concurrency. Capped at the island count. 1 advances
+     * the islands on the calling thread (still epoch-by-epoch, so the
+     * result is bit-identical to any other worker count).
+     */
+    unsigned workers = 1;
+    /** Ordering structure for the island queues. */
+    EventQueueKind kind = EventQueueKind::wheel;
+    /**
+     * Differential-oracle mode: all islands share one queue, advanced
+     * single-threaded, with identical epoch-deferred cross-island
+     * delivery semantics (see file comment).
+     */
+    bool oracle = false;
+};
+
+/**
+ * A cross-island event parked in a mailbox between its send and the
+ * epoch barrier that delivers it.
+ */
+struct CrossEvent
+{
+    /** Delivery tick at the destination island. */
+    Tick when = 0;
+    /** Sender's current tick when the event was sent. */
+    Tick srcWhen = 0;
+    /** Per-source-island send sequence number (unique per source). */
+    std::uint64_t srcSeq = 0;
+    /** Source island id — the merge tiebreak between islands. */
+    std::uint32_t srcIsland = 0;
+    EventQueue::Callback cb;
+};
+
+/**
+ * Single-producer single-consumer mailbox for cross-island events.
+ *
+ * The producer is the worker advancing the source island during a
+ * phase; the consumer is the barrier merge on the engine's owning
+ * thread. A fixed power-of-two ring of pooled CrossEvent slots absorbs
+ * the common case without allocation; bursts beyond the ring capacity
+ * overflow into a producer-owned spill vector that the barrier drains
+ * after the phase join (which is what makes the unsynchronized spill
+ * access safe).
+ */
+class SpscMailbox
+{
+  public:
+    /** Ring capacity (power of two); bursts beyond it spill. */
+    static constexpr std::size_t kRingSlots = 128;
+
+    SpscMailbox() : ring_(kRingSlots) {}
+
+    SpscMailbox(const SpscMailbox &) = delete;
+    SpscMailbox &operator=(const SpscMailbox &) = delete;
+
+    /** Producer side: deposit one event. */
+    void
+    push(CrossEvent &&ev)
+    {
+        const std::uint64_t t = tail_.load(std::memory_order_relaxed);
+        const std::uint64_t h = head_.load(std::memory_order_acquire);
+        if (t - h < kRingSlots) {
+            ring_[t & (kRingSlots - 1)] = std::move(ev);
+            tail_.store(t + 1, std::memory_order_release);
+        } else {
+            spill_.push_back(std::move(ev));
+        }
+    }
+
+    /** Barrier-only: true if no parked events (ring and spill). */
+    bool
+    empty() const
+    {
+        return head_.load(std::memory_order_relaxed) ==
+                   tail_.load(std::memory_order_relaxed) &&
+               spill_.empty();
+    }
+
+    /** Barrier-only: move every parked event into @p out, in push
+     *  order (ring first, then spill — which is also send order). */
+    void
+    drainTo(std::vector<CrossEvent> &out)
+    {
+        std::uint64_t h = head_.load(std::memory_order_relaxed);
+        const std::uint64_t t = tail_.load(std::memory_order_acquire);
+        for (; h != t; ++h)
+            out.push_back(std::move(ring_[h & (kRingSlots - 1)]));
+        head_.store(h, std::memory_order_release);
+        for (auto &ev : spill_)
+            out.push_back(std::move(ev));
+        spill_.clear();
+    }
+
+  private:
+    std::vector<CrossEvent> ring_;
+    std::vector<CrossEvent> spill_;
+    alignas(64) std::atomic<std::uint64_t> head_{0};
+    alignas(64) std::atomic<std::uint64_t> tail_{0};
+};
+
+/**
+ * Conservative parallel discrete-event engine (see file comment).
+ *
+ * Drivers bind one island's model state to each islandQueue(), then
+ * advance simulated time exclusively through ParallelEngine::run —
+ * never through the island queues' own run methods.
+ */
+class ParallelEngine
+{
+  public:
+    explicit ParallelEngine(const ParallelEngineConfig &cfg);
+    ~ParallelEngine();
+
+    ParallelEngine(const ParallelEngine &) = delete;
+    ParallelEngine &operator=(const ParallelEngine &) = delete;
+
+    /** Number of islands. */
+    unsigned islands() const { return cfg_.islands; }
+    /** Resolved worker count (after 0 → hardware, cap at islands). */
+    unsigned workers() const { return workers_; }
+    /** Conservative lookahead in ticks (0 when islands == 1). */
+    Tick lookahead() const { return cfg_.lookahead; }
+    /** True if running in differential-oracle mode. */
+    bool oracle() const { return cfg_.oracle; }
+
+    /**
+     * The event queue island @p island executes on. In oracle mode
+     * every island maps to the one shared queue.
+     */
+    EventQueue &
+    islandQueue(unsigned island)
+    {
+        return *queues_[queueIndex(island)];
+    }
+
+    /** Schedule an island-local event at an absolute tick. */
+    template <typename F>
+    EventHandle
+    schedule(unsigned island, Tick when, F &&cb)
+    {
+        return islandQueue(island).schedule(when, std::forward<F>(cb));
+    }
+
+    /**
+     * Send an event from island @p from to island @p to, to fire at
+     * absolute tick @p when.
+     *
+     * Contract (fatal if violated when islands > 1): @p when must be
+     * at or beyond the sender's next epoch boundary,
+     * (floor(senderNow / L) + 1) * L — guaranteed by construction for
+     * any send of the form now + d with d >= lookahead. The event is
+     * parked in the (from, to) mailbox and delivered at the epoch
+     * barrier; with islands == 1 it is scheduled directly.
+     */
+    template <typename F>
+    void
+    sendCross(unsigned from, unsigned to, Tick when, F &&cb)
+    {
+        const std::uint64_t seq = admitSend(from, to, when);
+        if (direct()) {
+            islandQueue(to).schedule(when, std::forward<F>(cb));
+            return;
+        }
+        CrossEvent ev;
+        ev.when = when;
+        ev.srcWhen = islandQueue(from).curTick();
+        ev.srcSeq = seq;
+        ev.srcIsland = from;
+        ev.cb = std::forward<F>(cb);
+        mailbox(from, to).push(std::move(ev));
+    }
+
+    /**
+     * Advance every island to @p limit (inclusive, like
+     * EventQueue::run), interleaving epoch phases and merge barriers.
+     * Epoch alignment is absolute (multiples of L), so splitting a run
+     * into warmup/measure segments changes nothing.
+     * @return the tick at which execution stopped.
+     */
+    Tick run(Tick limit);
+
+    /** Last tick fully executed (0 before the first run). */
+    Tick
+    curTick() const
+    {
+        return nextTick_ == 0 ? 0 : nextTick_ - 1;
+    }
+
+    /** Total events fired across all islands. */
+    std::uint64_t eventsFired() const;
+    /** Total sendCross calls. */
+    std::uint64_t crossSent() const;
+    /** Cross events delivered at barriers so far. */
+    std::uint64_t crossDelivered() const { return crossDelivered_; }
+    /** Merge barriers executed so far. */
+    std::uint64_t epochBarriers() const { return epochs_; }
+
+  private:
+    /** True when cross sends bypass mailboxes (single island). */
+    bool direct() const { return cfg_.islands == 1; }
+
+    unsigned
+    queueIndex(unsigned island) const
+    {
+        return (cfg_.oracle || direct()) ? 0 : island;
+    }
+
+    SpscMailbox &
+    mailbox(unsigned from, unsigned to)
+    {
+        return *boxes_[from * cfg_.islands + to];
+    }
+
+    /** Validate a sendCross (bounds + lookahead contract), count it,
+     *  and hand out the per-source sequence number. */
+    std::uint64_t admitSend(unsigned from, unsigned to, Tick when);
+
+    /** Advance every island queue to @p target (one epoch phase). */
+    void runPhase(Tick target);
+    /** Drain all mailboxes and merge deliveries into the destination
+     *  queues in (srcWhen, srcIsland, srcSeq) order. */
+    void mergeBarrier();
+
+    bool allQueuesEmpty() const;
+    bool allMailboxesEmpty() const;
+
+    ParallelEngineConfig cfg_;
+    unsigned workers_ = 1;
+    std::vector<std::unique_ptr<EventQueue>> queues_;
+    std::vector<std::unique_ptr<SpscMailbox>> boxes_;
+    std::unique_ptr<ThreadPool> pool_;
+
+    /** Per-source-island send sequence counters (worker-owned during
+     *  phases, like the mailbox producer ends). */
+    std::vector<std::uint64_t> sendSeq_;
+    /** Per-source-island sent counters, summed by crossSent(). */
+    std::vector<std::uint64_t> sentCount_;
+
+    /** First tick not yet executed; epochs covered are [0, nextTick_). */
+    Tick nextTick_ = 0;
+    std::uint64_t crossDelivered_ = 0;
+    std::uint64_t epochs_ = 0;
+    /** Reused barrier merge scratch (pooled across epochs). */
+    std::vector<CrossEvent> scratch_;
+};
+
+} // namespace odbsim::sim
+
+#endif // ODBSIM_SIM_PARALLEL_ENGINE_HH

@@ -1,0 +1,172 @@
+/**
+ * @file
+ * des_determinism_contract: the conservative parallel DES engine
+ * changes no observable behaviour, end to end.
+ *
+ *  - An island-decomposed deployment (S=4 shared-nothing instances
+ *    coupled by cross-island coordination traffic) produces
+ *    bit-identical digests on the shared-queue oracle and on the
+ *    parallel path at worker counts {1, 2, 4, 7}.
+ *  - S=1 on an external island queue is the serial engine: it matches
+ *    a standalone internally-queued System run of the same
+ *    configuration commit for commit.
+ *  - RunKnobs::desThreads is a host-execution knob: full
+ *    ExperimentRunner grid points are bit-identical at any value
+ *    (what keeps the golden study CSVs byte-stable under
+ *    --des-threads).
+ *
+ * Its own binary/ctest entry, like fault_inertness_contract and
+ * islands_topology_contract: every case is a full (if short)
+ * simulation, shared across assertions where possible.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/des_grid.hh"
+#include "core/experiment.hh"
+#include "db/database.hh"
+#include "odb/workload.hh"
+#include "os/system.hh"
+#include "sim/parallel_engine.hh"
+
+namespace
+{
+
+using namespace odbsim;
+using core::DesGridConfig;
+using core::DesGridResult;
+using core::runDesGridPoint;
+
+DesGridConfig
+smallDeployment()
+{
+    DesGridConfig cfg;
+    cfg.islands = 4;
+    cfg.warehousesPerIsland = 2;
+    cfg.cpusPerIsland = 2;
+    cfg.clientsPerIsland = 6;
+    cfg.warmup = ticksFromMs(20.0);
+    cfg.measure = ticksFromMs(60.0);
+    cfg.seed = 1234;
+    cfg.coordIntervalUs = 150.0;
+    return cfg;
+}
+
+TEST(DesDeterminismContract, OracleVsParallelAtWorkerCounts1247)
+{
+    DesGridConfig cfg = smallDeployment();
+    cfg.oracle = true;
+    const DesGridResult oracle = runDesGridPoint(cfg);
+
+    // The deployment must actually commit work and actually exchange
+    // cross-island traffic, or the contract is vacuous.
+    ASSERT_GT(oracle.committed, 0u);
+    ASSERT_GT(oracle.crossDelivered, 0u);
+    ASSERT_GT(oracle.epochBarriers, 0u);
+    std::uint64_t coord_total = 0;
+    for (std::uint64_t c : oracle.coordReceived)
+        coord_total += c;
+    ASSERT_GT(coord_total, 0u);
+
+    cfg.oracle = false;
+    for (unsigned workers : {1u, 2u, 4u, 7u}) {
+        cfg.desThreads = workers;
+        const DesGridResult par = runDesGridPoint(cfg);
+        EXPECT_EQ(par.digest, oracle.digest) << "workers=" << workers;
+        EXPECT_EQ(par.committed, oracle.committed)
+            << "workers=" << workers;
+        EXPECT_EQ(par.committedPerIsland, oracle.committedPerIsland);
+        EXPECT_EQ(par.coordReceived, oracle.coordReceived);
+        EXPECT_EQ(par.eventsFired, oracle.eventsFired);
+        EXPECT_EQ(par.crossSent, oracle.crossSent);
+        EXPECT_EQ(par.crossDelivered, oracle.crossDelivered);
+        EXPECT_EQ(par.epochBarriers, oracle.epochBarriers);
+        EXPECT_EQ(par.lookahead, oracle.lookahead);
+    }
+}
+
+TEST(DesDeterminismContract, SingleIslandMatchesStandaloneSystem)
+{
+    // Replicate exactly what runDesGridPoint builds for island 0 of a
+    // one-island deployment, but on a plain internally-queued System
+    // driven by runFor — the pre-engine serial path.
+    const DesGridConfig cfg = [] {
+        DesGridConfig c = smallDeployment();
+        c.islands = 1;
+        return c;
+    }();
+    const std::uint64_t iseed = core::desIslandSeed(cfg.seed, 0);
+    const core::MachinePreset preset = core::makeMachine(
+        cfg.machine, cfg.cpusPerIsland, cfg.samplePeriod, iseed);
+
+    os::System sys(preset.sys);
+    ASSERT_FALSE(sys.externallyQueued());
+    db::DatabaseConfig dbcfg;
+    dbcfg.schema.warehouses = cfg.warehousesPerIsland;
+    dbcfg.schema.seed = iseed;
+    dbcfg.cacheWarehouseEquivalents = preset.cacheWarehouseEquivalents;
+    db::Database database(sys, dbcfg);
+    database.start();
+    odb::WorkloadConfig wcfg;
+    wcfg.clients = cfg.clientsPerIsland;
+    wcfg.seed = iseed * 7919 + cfg.warehousesPerIsland;
+    odb::OdbWorkload workload(database, wcfg);
+    workload.start();
+    database.instantWarm({}, 1);
+    sys.runUntil(cfg.warmup);
+    sys.beginMeasurement();
+    workload.resetStats();
+    database.resetStats();
+    sys.runUntil(cfg.warmup + cfg.measure);
+
+    const DesGridResult one = runDesGridPoint(cfg);
+    EXPECT_EQ(one.islands, 1u);
+    EXPECT_EQ(one.lookahead, 0u);
+    EXPECT_EQ(one.crossSent, 0u);
+    EXPECT_EQ(one.committed, workload.committed());
+    EXPECT_EQ(one.eventsFired, sys.eq().eventsFired());
+}
+
+TEST(DesDeterminismContract, ExternallyQueuedSystemRefusesRunFor)
+{
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    EXPECT_DEATH(
+        {
+            EventQueue external;
+            const core::MachinePreset preset =
+                core::makeMachine(core::MachineKind::XeonQuadMp, 1, 16, 1);
+            os::System sys(preset.sys, &external);
+            sys.runFor(100);
+        },
+        "advance time through the owning ParallelEngine");
+}
+
+TEST(DesDeterminismContract, DesThreadsIsInvisibleInStudyOutput)
+{
+    // A full paper grid point through ExperimentRunner: one island,
+    // so any --des-threads value must leave every metric bit-exact.
+    core::OltpConfiguration grid;
+    grid.warehouses = 2;
+    grid.processors = 2;
+    core::RunKnobs knobs;
+    knobs.warmup = ticksFromMs(20.0);
+    knobs.measure = ticksFromMs(60.0);
+    knobs.seed = 99;
+
+    knobs.desThreads = 1;
+    const core::RunResult base = core::ExperimentRunner::run(grid, knobs);
+    ASSERT_GT(base.txnsCommitted, 0u);
+    for (unsigned threads : {2u, 4u, 7u}) {
+        knobs.desThreads = threads;
+        const core::RunResult r = core::ExperimentRunner::run(grid, knobs);
+        EXPECT_EQ(r.txnsCommitted, base.txnsCommitted)
+            << "desThreads=" << threads;
+        EXPECT_EQ(r.eventsFired, base.eventsFired);
+        EXPECT_DOUBLE_EQ(r.tps, base.tps);
+        EXPECT_DOUBLE_EQ(r.cpi, base.cpi);
+        EXPECT_DOUBLE_EQ(r.mpi, base.mpi);
+        EXPECT_DOUBLE_EQ(r.ipx, base.ipx);
+    }
+}
+
+} // namespace

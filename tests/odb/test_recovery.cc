@@ -1,0 +1,99 @@
+/**
+ * @file
+ * RecoveryProcess edge cases on the mini deployment: the zero-redo
+ * fast path, the redo cap binding exactly, and recovery driving its
+ * chunked log-read loop to completion through injected disk faults.
+ * (The happy-path crash contract — positive MTTR, determinism, the
+ * throughput dip — lives in the whole-run fault suite,
+ * tests/core/test_faults.cc.)
+ */
+
+#include <cstdint>
+
+#include <gtest/gtest.h>
+
+#include "../support/mini_odb.hh"
+#include "sim/fault.hh"
+
+namespace
+{
+
+using namespace odbsim;
+
+TEST(RecoveryProcess, ZeroRedoSinceCheckpointCompletesImmediately)
+{
+    // Crash before the first commit: no redo has been generated, so
+    // the first recovery dispatch resolves a zero-byte window and
+    // declares the instance up without ever touching the log drives.
+    os::SystemConfig syscfg = test::miniSystemConfig();
+    syscfg.faults.crashAtMs = 0.001;
+    test::MiniOdb rig(syscfg, test::miniDbConfig(), 4);
+    ASSERT_EQ(rig.db.log().redoSinceCheckpoint(), 0u);
+
+    rig.sys.runFor(100 * tickPerMs);
+
+    const sim::FaultStats &stats = rig.sys.faults().stats();
+    EXPECT_EQ(stats.crashes, 1u);
+    EXPECT_EQ(stats.redoReplayedBytes, 0u);
+    // Recovery still pays its open-for-business dispatch, so the end
+    // marker lands after the crash tick — and the revived servers
+    // commit for the rest of the run.
+    EXPECT_GT(stats.recoveryEndTick, stats.crashTick);
+    EXPECT_GT(rig.workload.committed(), 0u);
+}
+
+TEST(RecoveryProcess, RedoWindowBindsExactlyAtTheCap)
+{
+    // Crash after a long stretch of commits with a cap far below the
+    // accumulated redo: the replayed window must equal the configured
+    // cap byte for byte (min(redoSinceCheckpoint, cap) picked cap).
+    os::SystemConfig syscfg = test::miniSystemConfig();
+    syscfg.faults.crashAtMs = 100.0;
+    syscfg.faults.recoveryRedoCapMb = 0.01;
+    test::MiniOdb rig(syscfg, test::miniDbConfig(), 4);
+
+    rig.sys.runFor(300 * tickPerMs);
+
+    const sim::FaultStats &stats = rig.sys.faults().stats();
+    const auto cap = static_cast<std::uint64_t>(
+        syscfg.faults.recoveryRedoCapMb * 1024.0 * 1024.0);
+    EXPECT_EQ(stats.crashes, 1u);
+    // The run accumulated more redo than the cap, so the assertion is
+    // not vacuously min(x, cap) == x.
+    EXPECT_GT(rig.db.log().redoSinceCheckpoint(), cap);
+    EXPECT_EQ(stats.redoReplayedBytes, cap);
+    EXPECT_GT(stats.recoveryEndTick, stats.crashTick);
+    EXPECT_GT(rig.workload.committed(), 0u);
+}
+
+TEST(RecoveryProcess, ChunkLoopCompletesUnderDiskFaults)
+{
+    // Aggressive transient-fault injection while recovery streams its
+    // chunked log reads: every chunk may need retries, but the loop
+    // must still drain the full window and bring the instance back.
+    os::SystemConfig syscfg = test::miniSystemConfig();
+    syscfg.faults.crashAtMs = 100.0;
+    syscfg.faults.recoveryRedoCapMb = 0.05;
+    syscfg.faults.diskTransientProb = 0.3;
+    test::MiniOdb rig(syscfg, test::miniDbConfig(), 4);
+
+    rig.sys.runFor(400 * tickPerMs);
+
+    const sim::FaultStats &stats = rig.sys.faults().stats();
+    EXPECT_EQ(stats.crashes, 1u);
+    EXPECT_GT(stats.diskTransientErrors, 0u);
+    EXPECT_GT(stats.redoReplayedBytes, 0u);
+    EXPECT_GT(stats.recoveryEndTick, stats.crashTick);
+    EXPECT_GT(rig.workload.committed(), 0u);
+
+    // Same faulty configuration, same seed: the recovery path is
+    // deterministic down to the event count.
+    test::MiniOdb again(syscfg, test::miniDbConfig(), 4);
+    again.sys.runFor(400 * tickPerMs);
+    EXPECT_EQ(again.sys.faults().stats().recoveryEndTick,
+              stats.recoveryEndTick);
+    EXPECT_EQ(again.workload.committed(), rig.workload.committed());
+    EXPECT_EQ(again.sys.eq().eventsFired(), rig.sys.eq().eventsFired());
+}
+
+} // namespace

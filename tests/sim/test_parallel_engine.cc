@@ -1,0 +1,288 @@
+/**
+ * @file
+ * Unit tests for sim::ParallelEngine on a synthetic multi-island
+ * model: bit-exactness of the parallel path against the shared-queue
+ * oracle at several worker counts, S=1 degeneracy to the serial
+ * engine, epoch-grid independence from run() call splits, mailbox
+ * spill behaviour, and the fatal lookahead contract.
+ */
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "sim/event_queue.hh"
+#include "sim/parallel_engine.hh"
+#include "sim/rng.hh"
+
+namespace
+{
+
+using odbsim::EventQueue;
+using odbsim::Rng;
+using odbsim::Tick;
+using odbsim::sim::ParallelEngine;
+using odbsim::sim::ParallelEngineConfig;
+using odbsim::sim::SpscMailbox;
+
+std::uint64_t
+mix(std::uint64_t acc, std::uint64_t v)
+{
+    return acc * 6364136223846793005ULL + v;
+}
+
+/**
+ * A synthetic island model: each island runs a self-rescheduling
+ * local event that mixes RNG draws into an accumulator and sometimes
+ * sends a payload to a peer at now + L + jitter. All cross-island
+ * effects flow through sendCross, so any execution strategy of the
+ * engine must produce identical accumulators.
+ */
+struct SyntheticModel
+{
+    struct Island
+    {
+        std::uint64_t acc = 0;
+        Rng rng{0};
+    };
+
+    ParallelEngine *eng = nullptr;
+    std::vector<Island> islands;
+    Tick lookahead = 0;
+
+    void
+    start(ParallelEngine &engine, std::uint64_t seed)
+    {
+        eng = &engine;
+        lookahead = engine.lookahead();
+        islands.clear();
+        islands.resize(engine.islands());
+        for (unsigned i = 0; i < engine.islands(); ++i) {
+            islands[i].rng = Rng(seed + 17 * i);
+            arm(i);
+        }
+    }
+
+    void
+    arm(unsigned i)
+    {
+        const Tick now = eng->islandQueue(i).curTick();
+        const Tick gap = 1 + islands[i].rng.below(400);
+        eng->schedule(i, now + gap, [this, i] { tick(i); });
+    }
+
+    void
+    tick(unsigned i)
+    {
+        Island &s = islands[i];
+        s.acc = mix(s.acc, s.rng.next());
+        const unsigned n = eng->islands();
+        if (n > 1 && s.rng.chance(0.25)) {
+            unsigned t = static_cast<unsigned>(s.rng.below(n - 1));
+            if (t >= i)
+                ++t;
+            const std::uint64_t payload = s.rng.next();
+            const Tick when = eng->islandQueue(i).curTick() + lookahead +
+                              s.rng.below(lookahead);
+            std::uint64_t *dst = &islands[t].acc;
+            eng->sendCross(i, t, when, [dst, payload] {
+                *dst = mix(*dst, payload);
+            });
+        }
+        arm(i);
+    }
+
+    std::uint64_t
+    digest() const
+    {
+        std::uint64_t h = 0xcbf29ce484222325ULL;
+        for (const Island &s : islands)
+            h = mix(h, s.acc);
+        return h;
+    }
+};
+
+struct RunOutcome
+{
+    std::uint64_t digest;
+    std::uint64_t fired;
+    std::uint64_t crossSent;
+    std::uint64_t crossDelivered;
+    std::uint64_t epochs;
+};
+
+RunOutcome
+runSynthetic(unsigned islands, unsigned workers, bool oracle, Tick limit,
+             unsigned segments = 1)
+{
+    ParallelEngineConfig cfg;
+    cfg.islands = islands;
+    cfg.lookahead = 10000;
+    cfg.workers = workers;
+    cfg.oracle = oracle;
+    ParallelEngine eng(cfg);
+    SyntheticModel model;
+    model.start(eng, 0x5eed1ULL);
+    for (unsigned s = 1; s <= segments; ++s)
+        eng.run(limit * s / segments);
+    return {model.digest(), eng.eventsFired(), eng.crossSent(),
+            eng.crossDelivered(), eng.epochBarriers()};
+}
+
+TEST(ParallelEngine, OracleVsParallelAtEveryWorkerCount)
+{
+    constexpr Tick limit = 2'000'000;
+    const RunOutcome oracle = runSynthetic(4, 1, true, limit);
+    EXPECT_GT(oracle.crossDelivered, 0u);
+    EXPECT_GT(oracle.epochs, 0u);
+    for (unsigned workers : {1u, 2u, 4u, 7u}) {
+        const RunOutcome par = runSynthetic(4, workers, false, limit);
+        EXPECT_EQ(par.digest, oracle.digest) << "workers=" << workers;
+        EXPECT_EQ(par.fired, oracle.fired) << "workers=" << workers;
+        EXPECT_EQ(par.crossSent, oracle.crossSent);
+        EXPECT_EQ(par.crossDelivered, oracle.crossDelivered);
+        EXPECT_EQ(par.epochs, oracle.epochs);
+    }
+}
+
+TEST(ParallelEngine, SplitRunMatchesUnsplitRun)
+{
+    constexpr Tick limit = 1'500'000;
+    const RunOutcome whole = runSynthetic(3, 2, false, limit, 1);
+    // Segment boundaries land mid-epoch (limit/7 is no multiple of
+    // the lookahead), exercising the partial-phase resume path.
+    const RunOutcome split = runSynthetic(3, 2, false, limit, 7);
+    EXPECT_EQ(split.digest, whole.digest);
+    EXPECT_EQ(split.fired, whole.fired);
+    EXPECT_EQ(split.crossDelivered, whole.crossDelivered);
+    EXPECT_EQ(split.epochs, whole.epochs);
+}
+
+TEST(ParallelEngine, SingleIslandDegeneratesToSerialQueue)
+{
+    // The same self-rescheduling chain on a plain EventQueue and on a
+    // single-island engine must fire identically; sendCross becomes
+    // schedule.
+    std::uint64_t plain_acc = 0;
+    EventQueue plain;
+    Rng prng(7);
+    std::function<void()> plain_step;
+    plain_step = [&] {
+        plain_acc = mix(plain_acc, prng.next());
+        plain.scheduleAfter(1 + prng.below(100), [&] { plain_step(); });
+    };
+    plain.schedule(5, [&] { plain_step(); });
+    plain.run(100000);
+
+    ParallelEngineConfig cfg;
+    cfg.islands = 1;
+    ParallelEngine eng(cfg);
+    std::uint64_t eng_acc = 0;
+    Rng erng(7);
+    std::function<void()> eng_step;
+    eng_step = [&] {
+        eng_acc = mix(eng_acc, erng.next());
+        eng.schedule(0, eng.islandQueue(0).curTick() + 1 + erng.below(100),
+                     [&] { eng_step(); });
+    };
+    eng.schedule(0, 5, [&] { eng_step(); });
+    eng.run(100000);
+
+    EXPECT_EQ(eng_acc, plain_acc);
+    EXPECT_EQ(eng.eventsFired(), plain.eventsFired());
+    EXPECT_EQ(eng.curTick(), plain.curTick());
+    EXPECT_EQ(eng.lookahead(), 0u);
+
+    // sendCross on a single island is a plain schedule.
+    bool fired = false;
+    eng.sendCross(0, 0, eng.curTick() + 10, [&fired] { fired = true; });
+    eng.run(eng.curTick() + 10);
+    EXPECT_TRUE(fired);
+    EXPECT_EQ(eng.crossSent(), 1u);
+}
+
+TEST(ParallelEngine, MailboxSpillAndMergeOrder)
+{
+    // A burst far beyond the SPSC ring capacity, sent from one event
+    // (equal srcWhen), must be delivered completely and fire in
+    // (when, send-order) order at the destination.
+    constexpr unsigned kBurst = SpscMailbox::kRingSlots * 2 + 45;
+    ParallelEngineConfig cfg;
+    cfg.islands = 2;
+    cfg.lookahead = 1000;
+    ParallelEngine eng(cfg);
+
+    std::vector<unsigned> arrivals;
+    eng.schedule(0, 5, [&eng, &arrivals] {
+        for (unsigned k = 0; k < kBurst; ++k) {
+            eng.sendCross(0, 1, 1000 + (k % 7), [&arrivals, k] {
+                arrivals.push_back(k);
+            });
+        }
+    });
+    eng.run(3000);
+
+    ASSERT_EQ(arrivals.size(), kBurst);
+    EXPECT_EQ(eng.crossSent(), kBurst);
+    EXPECT_EQ(eng.crossDelivered(), kBurst);
+    // Expected firing order: by delivery tick (k % 7), then by send
+    // order — the merge delivers equal-srcWhen events in srcSeq order
+    // and the queue fires same-tick events FIFO.
+    std::vector<unsigned> expected;
+    for (unsigned rem = 0; rem < 7; ++rem)
+        for (unsigned k = 0; k < kBurst; ++k)
+            if (k % 7 == rem)
+                expected.push_back(k);
+    EXPECT_EQ(arrivals, expected);
+}
+
+TEST(ParallelEngine, SpscMailboxRingWrapsAcrossDrains)
+{
+    SpscMailbox box;
+    std::vector<odbsim::sim::CrossEvent> out;
+    for (unsigned round = 0; round < 5; ++round) {
+        for (unsigned k = 0; k < 100; ++k) {
+            odbsim::sim::CrossEvent ev;
+            ev.srcSeq = round * 100 + k;
+            box.push(std::move(ev));
+        }
+        out.clear();
+        box.drainTo(out);
+        ASSERT_EQ(out.size(), 100u);
+        for (unsigned k = 0; k < 100; ++k)
+            EXPECT_EQ(out[k].srcSeq, round * 100 + k);
+        EXPECT_TRUE(box.empty());
+    }
+}
+
+TEST(ParallelEngineDeath, LookaheadViolationIsFatal)
+{
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    EXPECT_EXIT(
+        {
+            ParallelEngineConfig cfg;
+            cfg.islands = 2;
+            cfg.lookahead = 1000;
+            ParallelEngine eng(cfg);
+            // At tick 0 the next boundary is 1000; 999 violates it.
+            eng.sendCross(0, 1, 999, [] {});
+        },
+        ::testing::ExitedWithCode(1), "lookahead violation");
+}
+
+TEST(ParallelEngineDeath, MultiIslandWithoutLookaheadIsFatal)
+{
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    EXPECT_EXIT(
+        {
+            ParallelEngineConfig cfg;
+            cfg.islands = 4;
+            cfg.lookahead = 0;
+            ParallelEngine eng(cfg);
+        },
+        ::testing::ExitedWithCode(1), "requires a positive lookahead");
+}
+
+} // namespace
